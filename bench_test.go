@@ -1,0 +1,136 @@
+// Repository-level benchmarks: one per table/figure of the paper's
+// evaluation (see DESIGN.md §5 for the experiment index). Each benchmark
+// executes the corresponding experiment end to end — workload generation,
+// correlation, measurement — and reports the experiment's key metrics as
+// custom benchmark outputs, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation in one run.
+//
+// Absolute resource numbers differ from the paper's 128-core testbed by
+// construction; the metrics to compare are the *shapes*: correlation-rate
+// ordering across variants, NoClearUp state growth, exact-TTL collapse,
+// distribution percentiles.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale balances fidelity and wall time; heavyweight multi-day
+// experiments run at reduced (but still substantial) scale.
+const (
+	benchScaleHeavy = 0.35
+	benchScaleLight = 1.0
+)
+
+func runExperiment(b *testing.B, id string, scale float64, metrics []string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = e.Run(scale)
+	}
+	if r == nil {
+		b.Fatal("no result")
+	}
+	for _, m := range metrics {
+		if v, ok := r.Values[m]; ok {
+			b.ReportMetric(v, m)
+		} else {
+			b.Fatalf("metric %q missing from %s", m, id)
+		}
+	}
+	b.Logf("%s: %s", id, r.Headline)
+}
+
+// BenchmarkTable1Config regenerates Table 1 (parameters and storage names).
+func BenchmarkTable1Config(b *testing.B) {
+	runExperiment(b, "table1", benchScaleLight,
+		[]string{"a_clear_up_seconds", "c_clear_up_seconds", "num_split", "chain_limit"})
+}
+
+// BenchmarkFig2MainWeek regenerates Figure 2: CPU and memory usage of the
+// Main configuration over one simulated week with diurnal traffic.
+func BenchmarkFig2MainWeek(b *testing.B) {
+	runExperiment(b, "fig2", benchScaleHeavy,
+		[]string{"traffic_peak_over_trough", "entries_peak_over_trough", "mean_corr_rate", "loss_rate"})
+}
+
+// BenchmarkFig3Variants regenerates Figure 3: CPU and memory for
+// Main/NoClearUp/NoLong/NoRotation/NoSplit over one simulated day.
+func BenchmarkFig3Variants(b *testing.B) {
+	runExperiment(b, "fig3", benchScaleHeavy,
+		[]string{"Main_corr", "NoClearUp_corr", "NoLong_corr", "NoRotation_corr", "NoSplit_corr",
+			"Main_entries_end", "NoClearUp_entries_end"})
+}
+
+// BenchmarkFig4ASAttribution regenerates Figure 4: per-source-AS traffic
+// for the two streaming services over a week.
+func BenchmarkFig4ASAttribution(b *testing.B) {
+	runExperiment(b, "fig4", benchScaleHeavy,
+		[]string{"s1_as_count", "s2_as_count", "s1_top1_share", "s2_top2_share"})
+}
+
+// BenchmarkFig5Malicious regenerates Figure 5: cumulative traffic volume
+// per number of suspicious/malformed domain names.
+func BenchmarkFig5Malicious(b *testing.B) {
+	runExperiment(b, "fig5", benchScaleHeavy,
+		[]string{"suspicious_traffic_share", "malformed_traffic_share", "invalid_domain_share", "underscore_share"})
+}
+
+// BenchmarkFig6ChainLength regenerates Figure 6: the CNAME chain length
+// ECDF (>99 % within 6 hops).
+func BenchmarkFig6ChainLength(b *testing.B) {
+	runExperiment(b, "fig6", benchScaleLight, []string{"p_within_6", "p99_len", "max_len"})
+}
+
+// BenchmarkFig7CorrelationRate regenerates Figure 7: hourly correlation
+// rate per variant.
+func BenchmarkFig7CorrelationRate(b *testing.B) {
+	runExperiment(b, "fig7", benchScaleHeavy,
+		[]string{"Main_mean_corr", "NoClearUp_mean_corr", "NoLong_mean_corr", "NoRotation_mean_corr"})
+}
+
+// BenchmarkFig8TTLDist regenerates Figure 8: TTL ECDFs per record type
+// (99 % of A/AAAA below 3600 s, CNAME below 7200 s).
+func BenchmarkFig8TTLDist(b *testing.B) {
+	runExperiment(b, "fig8", benchScaleLight,
+		[]string{"a_le_300", "a_lt_3600", "cname_lt_7200"})
+}
+
+// BenchmarkFig9NamesPerIP regenerates Figure 9: names-per-IP ECDF (~88 %
+// single-name IPs in a 300 s window).
+func BenchmarkFig9NamesPerIP(b *testing.B) {
+	runExperiment(b, "fig9", benchScaleLight,
+		[]string{"single_name_300s", "single_name_1h"})
+}
+
+// BenchmarkCorrelationHeadline regenerates the §4 headline: 81.7 %
+// correlation, ~0 loss, bounded write delay, on the full async pipeline.
+func BenchmarkCorrelationHeadline(b *testing.B) {
+	runExperiment(b, "corr", benchScaleHeavy,
+		[]string{"corr_rate", "loss_rate", "write_delay_seconds"})
+}
+
+// BenchmarkCoverage regenerates the §4 coverage analysis (95 %).
+func BenchmarkCoverage(b *testing.B) {
+	runExperiment(b, "coverage", benchScaleHeavy, []string{"coverage", "public_share"})
+}
+
+// BenchmarkAccuracyScenarios regenerates the §4 accuracy experiment
+// (100 % on distinct IPs, 50 % on a shared IP).
+func BenchmarkAccuracyScenarios(b *testing.B) {
+	runExperiment(b, "accuracy", benchScaleLight,
+		[]string{"scenario1_accuracy", "scenario2_accuracy"})
+}
+
+// BenchmarkExactTTL regenerates Appendix A.8: exact-TTL expiry versus Main
+// under identical load.
+func BenchmarkExactTTL(b *testing.B) {
+	runExperiment(b, "exactttl", benchScaleHeavy,
+		[]string{"tput_ratio", "exactttl_loss", "main_loss"})
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig2 [-scale 0.5] [-quiet]
+//	experiments -run all
+//
+// Each experiment prints the rows/series the paper plots plus a one-line
+// headline comparing against the paper's reported numbers. See DESIGN.md §5
+// for the experiment index and EXPERIMENTS.md for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		run   = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scale = flag.Float64("scale", 1.0, "workload scale in (0,1]; smaller is faster")
+		quiet = flag.Bool("quiet", false, "print only headlines, not full series")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %-28s %s\n", e.ID, e.Paper, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun with: experiments -run <id>[,<id>...] | all")
+		}
+		return
+	}
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = ids[:0]
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		r := e.Run(*scale)
+		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Paper)
+		if !*quiet {
+			for _, line := range r.Lines {
+				fmt.Println("  " + line)
+			}
+		}
+		fmt.Printf("--- %s [%v]\n\n", r.Headline, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

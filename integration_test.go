@@ -1,0 +1,255 @@
+// Cross-module integration tests: generator → wire codecs → loopback
+// sockets → stream sources → correlator → sink, plus variant behaviour
+// assertions that span packages.
+package repro
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnswire"
+	"repro/internal/netflow"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// TestLoopbackPipeline drives the full deployment wiring over real sockets:
+// DNS responses framed over TCP, NetFlow v9 over UDP, one correlator.
+func TestLoopbackPipeline(t *testing.T) {
+	sink := core.NewCountingSink()
+	c := core.New(core.DefaultConfig(), sink)
+	c.Start()
+
+	dnsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sources sync.WaitGroup
+	sources.Add(2)
+	go func() {
+		defer sources.Done()
+		conn, err := dnsLn.Accept()
+		if err != nil {
+			return
+		}
+		stream.NewDNSTCPSource(conn, c.DNSQueue()).Run()
+	}()
+	go func() {
+		defer sources.Done()
+		stream.NewFlowUDPSource(nfConn, c.FlowQueue()).Run()
+	}()
+
+	// Emit a deterministic session set: every service announced, then a
+	// known flow per service.
+	base := time.Now()
+	dnsConn, err := net.Dial("tcp", dnsLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnsSink := stream.NewDNSTCPSink(dnsConn)
+	const services = 50
+	for i := 0; i < services; i++ {
+		name := fmt.Sprintf("svc%02d.example", i)
+		edge := fmt.Sprintf("edge%02d.cdn.example", i)
+		addr := netip.AddrFrom4([4]byte{198, 51, 100, byte(i + 1)})
+		err := dnsSink.Send(&dnswire.Message{
+			Header:    dnswire.Header{ID: uint16(i), Response: true},
+			Questions: []dnswire.Question{{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+			Answers: []dnswire.Record{
+				{Name: name, Type: dnswire.TypeCNAME, Class: dnswire.ClassIN, TTL: 300, Target: edge},
+				{Name: edge, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, Addr: addr},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dnsConn.Close()
+
+	// Wait for fills to land.
+	deadline := time.After(5 * time.Second)
+	for {
+		if st := c.Stats(); st.DNSRecords == 2*services {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("fills stuck: %+v", c.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	udp, err := net.Dial("udp", nfConn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfSink := stream.NewFlowUDPSink(udp, 9, 10)
+	for i := 0; i < services; i++ {
+		err := nfSink.Send(netflow.FlowRecord{
+			Timestamp: base.Add(time.Second),
+			SrcIP:     netip.AddrFrom4([4]byte{198, 51, 100, byte(i + 1)}),
+			DstIP:     netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}),
+			SrcPort:   443, DstPort: 50000, Proto: netflow.ProtoTCP,
+			Packets: 10, Bytes: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nfSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline = time.After(5 * time.Second)
+	for {
+		if st := c.Stats(); st.Flows == services {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("flows stuck: %+v", c.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	dnsLn.Close()
+	nfConn.Close()
+	udp.Close()
+	sources.Wait()
+	c.Stop()
+
+	st := c.Stats()
+	if st.CorrelationRate() != 1.0 {
+		t.Fatalf("correlation rate = %v, want 1.0 (every flow announced)", st.CorrelationRate())
+	}
+	if st.LossRate() != 0 {
+		t.Fatalf("loss = %v", st.LossRate())
+	}
+	counts := sink.Bytes()
+	for i := 0; i < services; i++ {
+		name := fmt.Sprintf("svc%02d.example", i)
+		if counts[name] != 1000 {
+			t.Fatalf("bytes[%s] = %d", name, counts[name])
+		}
+	}
+}
+
+// TestVariantBehaviourCrossModule replays one synthetic day through every
+// variant and asserts the paper's cross-variant ordering end to end.
+func TestVariantBehaviourCrossModule(t *testing.T) {
+	u := workload.NewUniverse(workload.DefaultConfig())
+	run := func(v core.Variant) core.Stats {
+		c := core.New(core.ConfigForVariant(v), nil)
+		g := workload.NewGenerator(u, 99)
+		base := time.Date(2022, 5, 25, 0, 0, 0, 0, time.UTC)
+		for h := 0; h < 24; h++ {
+			ts := base.Add(time.Duration(h) * time.Hour)
+			for _, rec := range g.DNSBatch(ts, 300) {
+				c.IngestDNS(rec)
+			}
+			for _, fr := range g.FlowBatch(ts, 3000) {
+				c.CorrelateFlow(fr)
+			}
+		}
+		return c.Stats()
+	}
+	main := run(core.VariantMain)
+	noRot := run(core.VariantNoRotation)
+	noClear := run(core.VariantNoClearUp)
+
+	if noRot.CorrelationRate() >= main.CorrelationRate() {
+		t.Fatalf("NoRotation corr %.3f !< Main %.3f",
+			noRot.CorrelationRate(), main.CorrelationRate())
+	}
+	if noClear.CorrelationRate() < main.CorrelationRate()-0.01 {
+		t.Fatalf("NoClearUp corr %.3f below Main %.3f",
+			noClear.CorrelationRate(), main.CorrelationRate())
+	}
+	if noClear.IPNameEntries <= main.IPNameEntries {
+		t.Fatalf("NoClearUp state %d !> Main %d", noClear.IPNameEntries, main.IPNameEntries)
+	}
+	if main.IPNameRotations == 0 || noClear.IPNameRotations != 0 {
+		t.Fatalf("rotation counters wrong: main=%d noClear=%d",
+			main.IPNameRotations, noClear.IPNameRotations)
+	}
+}
+
+// TestWireFidelity round-trips generator output through both wire codecs
+// and checks nothing is lost or altered on the way to the correlator.
+func TestWireFidelity(t *testing.T) {
+	u := workload.NewUniverse(workload.DefaultConfig())
+	g := workload.NewGenerator(u, 5)
+	ts := time.Unix(1653475200, 0)
+
+	// DNS path: flatten -> message -> wire -> decode -> flatten.
+	recs := g.DNSBatch(ts, 50)
+	reassembled := 0
+	for _, rec := range recs {
+		msg := &dnswire.Message{Header: dnswire.Header{Response: true}}
+		r := dnswire.Record{Name: rec.Query, Type: rec.RType, Class: dnswire.ClassIN, TTL: rec.TTL}
+		if rec.RType == dnswire.TypeCNAME {
+			r.Target = rec.Answer
+		} else {
+			addr, err := netip.ParseAddr(rec.Answer)
+			if err != nil {
+				t.Fatalf("generator emitted unparsable answer %q", rec.Answer)
+			}
+			r.Addr = addr
+		}
+		msg.Answers = []dnswire.Record{r}
+		wire, err := dnswire.Encode(msg)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", rec, err)
+		}
+		got, err := dnswire.Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := stream.FlattenResponse(got, ts)
+		if len(flat) != 1 {
+			t.Fatalf("flatten = %d records", len(flat))
+		}
+		if flat[0].Query != rec.Query || flat[0].Answer != rec.Answer || flat[0].TTL != rec.TTL {
+			t.Fatalf("wire round trip altered record: %+v -> %+v", rec, flat[0])
+		}
+		reassembled++
+	}
+	if reassembled == 0 {
+		t.Fatal("no records exercised")
+	}
+
+	// NetFlow path: v9 template encode/decode for IPv4 flows.
+	flows := g.FlowBatch(ts, 200)
+	cache := netflow.NewTemplateCache()
+	for _, fr := range flows {
+		if !fr.SrcIP.Is4() || !fr.DstIP.Is4() {
+			continue
+		}
+		pkt, err := netflow.EncodeV9(netflow.V9Header{SourceID: 1}, netflow.StandardTemplate(),
+			[]netflow.FlowRecord{fr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := netflow.DecodeV9(pkt, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Records) != 1 {
+			t.Fatalf("records = %d", len(got.Records))
+		}
+		g := got.Records[0]
+		if g.SrcIP != fr.SrcIP || g.Bytes != fr.Bytes || g.DstPort != fr.DstPort {
+			t.Fatalf("v9 round trip altered flow: %+v -> %+v", fr, g)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package cmap provides a sharded, thread-safe string-keyed hash map.
+//
+// It is a standard-library-only replacement for the orcaman/concurrent-map
+// module that the FlowDNS paper uses for its internal DNS storage. The map
+// is divided into a fixed number of shards, each guarded by its own
+// sync.RWMutex, so that concurrent readers and writers touching different
+// shards never contend. FlowDNS performs millions of Get/Set operations per
+// second across many goroutines; per-shard locking is the property the paper
+// calls out as the enabler of "high-performance concurrent reads and writes
+// by sharding the map".
+package cmap
+
+import (
+	"sync"
+)
+
+// DefaultShardCount is the number of shards used by New. 32 matches the
+// upstream concurrent-map default.
+const DefaultShardCount = 32
+
+// Map is a sharded concurrent map from string keys to string values.
+// FlowDNS stores DNS answer→query mappings, so both sides are strings;
+// keeping the value type concrete avoids interface boxing on the hot path.
+//
+// The zero value is not usable; construct with New or NewWithShards.
+type Map struct {
+	shards []*shard
+	mask   uint32 // len(shards)-1 when power of two; otherwise 0 and mod is used
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// New returns a Map with DefaultShardCount shards.
+func New() *Map { return NewWithShards(DefaultShardCount) }
+
+// NewWithShards returns a Map with n shards. n must be >= 1; values that are
+// not powers of two are supported but pay a modulo on every access.
+func NewWithShards(n int) *Map {
+	if n < 1 {
+		n = 1
+	}
+	m := &Map{shards: make([]*shard, n)}
+	if n&(n-1) == 0 {
+		m.mask = uint32(n - 1)
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{m: make(map[string]string)}
+	}
+	return m
+}
+
+// fnv32 is the 32-bit FNV-1a hash, inlined to avoid the hash/fnv allocation
+// of a hash.Hash32 per call.
+func fnv32(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (m *Map) shardFor(key string) *shard {
+	h := fnv32(key)
+	if m.mask != 0 || len(m.shards) == 1 {
+		return m.shards[h&m.mask]
+	}
+	return m.shards[h%uint32(len(m.shards))]
+}
+
+// Set stores value under key, replacing any previous value.
+func (m *Map) Set(key, value string) {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = value
+	s.mu.Unlock()
+}
+
+// SetIfAbsent stores value under key only if the key is not already present.
+// It reports whether the value was stored.
+func (m *Map) SetIfAbsent(key, value string) bool {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.m[key]
+	if !ok {
+		s.m[key] = value
+	}
+	s.mu.Unlock()
+	return !ok
+}
+
+// Get returns the value stored under key and whether it was present.
+func (m *Map) Get(key string) (string, bool) {
+	s := m.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Has reports whether key is present.
+func (m *Map) Has(key string) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Remove deletes key. It reports whether the key was present.
+func (m *Map) Remove(key string) bool {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.m[key]
+	delete(s.m, key)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the total number of entries across all shards. The result is a
+// point-in-time aggregate: concurrent mutations may be partially reflected.
+func (m *Map) Len() int {
+	n := 0
+	for _, s := range m.shards {
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Clear removes all entries. Fresh inner maps are allocated so the memory of
+// large previous generations becomes collectible immediately; this is the
+// operation FlowDNS issues on every clear-up interval.
+func (m *Map) Clear() {
+	for _, s := range m.shards {
+		s.mu.Lock()
+		s.m = make(map[string]string)
+		s.mu.Unlock()
+	}
+}
+
+// Items returns a copy of the full contents. Used by tests and by buffer
+// rotation fallbacks; O(n) and allocates.
+func (m *Map) Items() map[string]string {
+	out := make(map[string]string, m.Len())
+	for _, s := range m.shards {
+		s.mu.RLock()
+		for k, v := range s.m {
+			out[k] = v
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Range calls fn for every key/value pair until fn returns false. Each shard
+// is read-locked while it is being iterated; fn must not call back into the
+// same Map's mutating methods for keys in the shard being iterated.
+func (m *Map) Range(fn func(key, value string) bool) {
+	for _, s := range m.shards {
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !fn(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// RemoveIf deletes every entry for which pred returns true and returns the
+// number of removed entries. This is the scan-based expiry primitive the
+// exact-TTL anti-benchmark (paper Appendix A.8) relies on; it write-locks
+// each shard for the duration of that shard's scan, which is precisely the
+// contention the paper observed degrading the system.
+func (m *Map) RemoveIf(pred func(key, value string) bool) int {
+	removed := 0
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for k, v := range s.m {
+			if pred(k, v) {
+				delete(s.m, k)
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return removed
+}
+
+// ShardCount returns the number of shards.
+func (m *Map) ShardCount() int { return len(m.shards) }
+
+// Snapshot atomically (per shard) moves the contents of m into dst and
+// clears m. It implements FlowDNS buffer rotation: "copy the contents of the
+// active hashmaps into the inactive hashmap and clear up the active
+// hashmap". dst's previous contents are discarded first. When both maps have
+// the same shard count, inner maps are handed over by pointer swap, making
+// rotation O(shards) instead of O(entries).
+func (m *Map) Snapshot(dst *Map) {
+	if dst == nil {
+		return
+	}
+	if len(dst.shards) == len(m.shards) {
+		for i, s := range m.shards {
+			d := dst.shards[i]
+			s.mu.Lock()
+			d.mu.Lock()
+			d.m = s.m
+			s.m = make(map[string]string)
+			d.mu.Unlock()
+			s.mu.Unlock()
+		}
+		return
+	}
+	dst.Clear()
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for k, v := range s.m {
+			dst.Set(k, v)
+		}
+		s.m = make(map[string]string)
+		s.mu.Unlock()
+	}
+}

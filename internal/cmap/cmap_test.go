@@ -1,0 +1,325 @@
+package cmap
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	m := New()
+	m.Set("a.example.com", "svc.example.com")
+	v, ok := m.Get("a.example.com")
+	if !ok || v != "svc.example.com" {
+		t.Fatalf("Get = %q, %v; want svc.example.com, true", v, ok)
+	}
+	if _, ok := m.Get("missing"); ok {
+		t.Fatal("Get(missing) reported present")
+	}
+}
+
+func TestSetOverwrites(t *testing.T) {
+	m := New()
+	m.Set("k", "v1")
+	m.Set("k", "v2")
+	if v, _ := m.Get("k"); v != "v2" {
+		t.Fatalf("overwrite: got %q, want v2", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestSetIfAbsent(t *testing.T) {
+	m := New()
+	if !m.SetIfAbsent("k", "v1") {
+		t.Fatal("first SetIfAbsent returned false")
+	}
+	if m.SetIfAbsent("k", "v2") {
+		t.Fatal("second SetIfAbsent returned true")
+	}
+	if v, _ := m.Get("k"); v != "v1" {
+		t.Fatalf("value = %q, want v1", v)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := New()
+	m.Set("k", "v")
+	if !m.Remove("k") {
+		t.Fatal("Remove existing returned false")
+	}
+	if m.Remove("k") {
+		t.Fatal("Remove missing returned true")
+	}
+	if m.Has("k") {
+		t.Fatal("key still present after Remove")
+	}
+}
+
+func TestLenAndClear(t *testing.T) {
+	m := NewWithShards(8)
+	for i := 0; i < 100; i++ {
+		m.Set(strconv.Itoa(i), "v")
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", m.Len())
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", m.Len())
+	}
+}
+
+func TestItemsAndRange(t *testing.T) {
+	m := New()
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	for k, v := range want {
+		m.Set(k, v)
+	}
+	got := m.Items()
+	if len(got) != len(want) {
+		t.Fatalf("Items len = %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Items[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+	n := 0
+	m.Range(func(k, v string) bool { n++; return true })
+	if n != len(want) {
+		t.Fatalf("Range visited %d, want %d", n, len(want))
+	}
+	n = 0
+	m.Range(func(k, v string) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range early-stop visited %d, want 1", n)
+	}
+}
+
+func TestRemoveIf(t *testing.T) {
+	m := New()
+	for i := 0; i < 50; i++ {
+		m.Set(strconv.Itoa(i), strconv.Itoa(i%2))
+	}
+	removed := m.RemoveIf(func(k, v string) bool { return v == "0" })
+	if removed != 25 {
+		t.Fatalf("RemoveIf removed %d, want 25", removed)
+	}
+	if m.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", m.Len())
+	}
+	m.Range(func(k, v string) bool {
+		if v != "1" {
+			t.Errorf("unexpected survivor %q=%q", k, v)
+		}
+		return true
+	})
+}
+
+func TestSnapshotRotation(t *testing.T) {
+	active := NewWithShards(16)
+	inactive := NewWithShards(16)
+	inactive.Set("stale", "old-generation")
+	for i := 0; i < 200; i++ {
+		active.Set("k"+strconv.Itoa(i), "v")
+	}
+	active.Snapshot(inactive)
+	if active.Len() != 0 {
+		t.Fatalf("active Len after rotation = %d, want 0", active.Len())
+	}
+	if inactive.Len() != 200 {
+		t.Fatalf("inactive Len = %d, want 200", inactive.Len())
+	}
+	if inactive.Has("stale") {
+		t.Fatal("rotation must overwrite previous inactive contents")
+	}
+	// Active remains usable after handover.
+	active.Set("fresh", "v")
+	if !active.Has("fresh") {
+		t.Fatal("active unusable after Snapshot")
+	}
+}
+
+func TestSnapshotMismatchedShards(t *testing.T) {
+	active := NewWithShards(4)
+	inactive := NewWithShards(7) // non power of two, different count
+	for i := 0; i < 64; i++ {
+		active.Set(strconv.Itoa(i), "v")
+	}
+	active.Snapshot(inactive)
+	if inactive.Len() != 64 || active.Len() != 0 {
+		t.Fatalf("got inactive=%d active=%d, want 64/0", inactive.Len(), active.Len())
+	}
+}
+
+func TestSnapshotNilDst(t *testing.T) {
+	m := New()
+	m.Set("k", "v")
+	m.Snapshot(nil) // must not panic
+	if !m.Has("k") {
+		t.Fatal("Snapshot(nil) mutated the map")
+	}
+}
+
+func TestNewWithShardsClamps(t *testing.T) {
+	m := NewWithShards(0)
+	if m.ShardCount() != 1 {
+		t.Fatalf("ShardCount = %d, want 1", m.ShardCount())
+	}
+	m.Set("k", "v")
+	if !m.Has("k") {
+		t.Fatal("single-shard map broken")
+	}
+}
+
+func TestNonPowerOfTwoShards(t *testing.T) {
+	m := NewWithShards(10) // FlowDNS uses NUM_SPLIT=10
+	for i := 0; i < 1000; i++ {
+		m.Set(fmt.Sprintf("key-%d", i), strconv.Itoa(i))
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := m.Get(fmt.Sprintf("key-%d", i))
+		if !ok || v != strconv.Itoa(i) {
+			t.Fatalf("key-%d: got %q,%v", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	const workers = 16
+	const perWorker = 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := fmt.Sprintf("w%d-%d", w, i)
+				m.Set(k, "v")
+				if _, ok := m.Get(k); !ok {
+					t.Errorf("own write not visible: %s", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", m.Len(), workers*perWorker)
+	}
+}
+
+func TestConcurrentRotationDuringWrites(t *testing.T) {
+	// Simulates FillUp workers writing while the clear-up rotation runs.
+	active := New()
+	inactive := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				active.Set(strconv.Itoa(i), "v")
+				i++
+			}
+		}
+	}()
+	for r := 0; r < 50; r++ {
+		active.Snapshot(inactive)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Property: a cmap behaves like a plain map under a sequential workload.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	f := func(keys []string, values []string) bool {
+		m := NewWithShards(10)
+		ref := map[string]string{}
+		for i, k := range keys {
+			v := "v"
+			if i < len(values) {
+				v = values[i]
+			}
+			m.Set(k, v)
+			ref[k] = v
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Snapshot moves exactly the active contents.
+func TestQuickSnapshotMoves(t *testing.T) {
+	f := func(keys []string) bool {
+		a, b := NewWithShards(8), NewWithShards(8)
+		ref := map[string]bool{}
+		for _, k := range keys {
+			a.Set(k, "x")
+			ref[k] = true
+		}
+		a.Snapshot(b)
+		if a.Len() != 0 || b.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if !b.Has(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	m := NewWithShards(32)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("198.51.%d.%d", i/256, i%256)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(keys[i&1023], "cdn.example.com")
+	}
+}
+
+func BenchmarkGetParallel(b *testing.B) {
+	m := NewWithShards(32)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("198.51.%d.%d", i/256, i%256)
+		m.Set(keys[i], "cdn.example.com")
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Get(keys[i&1023])
+			i++
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package config loads the FlowDNS daemon configuration file.
+//
+// The paper notes that "the system is not bound to NetFlow data and can be
+// adapted to use other data formats containing IP addresses and timestamps
+// in a configuration file" (§3). This package is that file: a JSON document
+// describing the input streams (addresses and formats), the correlator
+// tuning (variant, workers, intervals, lookup key), and the output.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+// File is the top-level configuration document.
+type File struct {
+	// DNSStreams lists TCP listen addresses receiving framed DNS responses.
+	DNSStreams []StreamConfig `json:"dns_streams"`
+	// FlowStreams lists UDP listen addresses receiving flow exports.
+	FlowStreams []StreamConfig `json:"flow_streams"`
+	// Output configures the correlated-flow sink.
+	Output OutputConfig `json:"output"`
+	// Correlator tunes the core pipeline.
+	Correlator CorrelatorConfig `json:"correlator"`
+}
+
+// StreamConfig describes one input stream.
+type StreamConfig struct {
+	// Listen is the listen address (host:port).
+	Listen string `json:"listen"`
+	// Format names the wire format: "dns" for DNS streams; "netflow"
+	// (v5/v9 auto-detected) or "ipfix" for flow streams. Flow formats are
+	// detected per datagram regardless, so this is documentation plus
+	// validation.
+	Format string `json:"format"`
+}
+
+// OutputConfig describes the sink.
+type OutputConfig struct {
+	// Path is the TSV output file; "-" or "" means stdout.
+	Path string `json:"path"`
+	// SkipMisses drops uncorrelated rows.
+	SkipMisses bool `json:"skip_misses"`
+}
+
+// CorrelatorConfig mirrors the tunable subset of core.Config.
+type CorrelatorConfig struct {
+	Variant         string `json:"variant"`            // Main (default), NoSplit, ...
+	LookupKey       string `json:"lookup_key"`         // source (default), destination, both
+	NumSplit        int    `json:"num_split"`          // 0 = paper default (10)
+	FillUpWorkers   int    `json:"fillup_workers"`     // 0 = default
+	LookUpWorkers   int    `json:"lookup_workers"`     // 0 = default
+	WriteWorkers    int    `json:"write_workers"`      // 0 = default
+	AClearUpSeconds int    `json:"a_clear_up_seconds"` // 0 = 3600
+	CClearUpSeconds int    `json:"c_clear_up_seconds"` // 0 = 7200
+	CNAMEChainLimit int    `json:"cname_chain_limit"`  // 0 = 6
+	QueueCapacity   int    `json:"queue_capacity"`     // 0 = default
+}
+
+// validFormats per stream family.
+var (
+	dnsFormats  = map[string]bool{"": true, "dns": true}
+	flowFormats = map[string]bool{"": true, "netflow": true, "ipfix": true}
+)
+
+// Load reads and validates a configuration file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse validates a configuration document.
+func Parse(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if len(f.DNSStreams) == 0 && len(f.FlowStreams) == 0 {
+		return nil, fmt.Errorf("config: no input streams configured")
+	}
+	for i, s := range f.DNSStreams {
+		if s.Listen == "" {
+			return nil, fmt.Errorf("config: dns_streams[%d]: missing listen address", i)
+		}
+		if !dnsFormats[s.Format] {
+			return nil, fmt.Errorf("config: dns_streams[%d]: unsupported format %q", i, s.Format)
+		}
+	}
+	for i, s := range f.FlowStreams {
+		if s.Listen == "" {
+			return nil, fmt.Errorf("config: flow_streams[%d]: missing listen address", i)
+		}
+		if !flowFormats[s.Format] {
+			return nil, fmt.Errorf("config: flow_streams[%d]: unsupported format %q", i, s.Format)
+		}
+	}
+	if _, err := f.CoreConfig(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// CoreConfig converts the correlator section to a core.Config.
+func (f *File) CoreConfig() (core.Config, error) {
+	cc := f.Correlator
+	variant := core.Variant(cc.Variant)
+	if cc.Variant == "" {
+		variant = core.VariantMain
+	}
+	switch variant {
+	case core.VariantMain, core.VariantNoSplit, core.VariantNoClearUp,
+		core.VariantNoRotation, core.VariantNoLong, core.VariantExactTTL:
+	default:
+		return core.Config{}, fmt.Errorf("config: unknown variant %q", cc.Variant)
+	}
+	cfg := core.ConfigForVariant(variant)
+	switch cc.LookupKey {
+	case "", "source":
+		cfg.Key = core.LookupSource
+	case "destination":
+		cfg.Key = core.LookupDestination
+	case "both":
+		cfg.Key = core.LookupBoth
+	default:
+		return core.Config{}, fmt.Errorf("config: unknown lookup_key %q", cc.LookupKey)
+	}
+	if cc.NumSplit > 0 {
+		cfg.NumSplit = cc.NumSplit
+	}
+	if cc.FillUpWorkers > 0 {
+		cfg.FillUpWorkers = cc.FillUpWorkers
+	}
+	if cc.LookUpWorkers > 0 {
+		cfg.LookUpWorkers = cc.LookUpWorkers
+	}
+	if cc.WriteWorkers > 0 {
+		cfg.WriteWorkers = cc.WriteWorkers
+	}
+	if cc.AClearUpSeconds > 0 {
+		cfg.AClearUpInterval = time.Duration(cc.AClearUpSeconds) * time.Second
+	}
+	if cc.CClearUpSeconds > 0 {
+		cfg.CClearUpInterval = time.Duration(cc.CClearUpSeconds) * time.Second
+	}
+	if cc.CNAMEChainLimit > 0 {
+		cfg.CNAMEChainLimit = cc.CNAMEChainLimit
+	}
+	if cc.QueueCapacity > 0 {
+		cfg.FillQueueCap = cc.QueueCapacity
+		cfg.LookQueueCap = cc.QueueCapacity
+		cfg.WriteQueueCap = cc.QueueCapacity
+	}
+	return cfg, nil
+}
+
+// Example returns a documented example configuration, used by
+// `flowdns -example-config`.
+func Example() *File {
+	return &File{
+		DNSStreams: []StreamConfig{
+			{Listen: ":5353", Format: "dns"},
+			{Listen: ":5354", Format: "dns"},
+		},
+		FlowStreams: []StreamConfig{
+			{Listen: ":2055", Format: "netflow"},
+			{Listen: ":4739", Format: "ipfix"},
+		},
+		Output: OutputConfig{Path: "correlated.tsv"},
+		Correlator: CorrelatorConfig{
+			Variant:       "Main",
+			LookupKey:     "source",
+			FillUpWorkers: 4, LookUpWorkers: 8, WriteWorkers: 2,
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package config
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestParseMinimal(t *testing.T) {
+	f, err := Parse([]byte(`{"dns_streams":[{"listen":":5353"}],"flow_streams":[{"listen":":2055"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := core.New(cfg, nil).Config()
+	if norm.NumSplit != core.DefaultNumSplit || norm.Key != core.LookupSource {
+		t.Fatalf("defaults not applied: %+v", norm)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	doc := `{
+		"dns_streams":[{"listen":":5353","format":"dns"}],
+		"flow_streams":[{"listen":":2055","format":"netflow"},{"listen":":4739","format":"ipfix"}],
+		"output":{"path":"out.tsv","skip_misses":true},
+		"correlator":{
+			"variant":"NoRotation","lookup_key":"both","num_split":4,
+			"fillup_workers":2,"lookup_workers":3,"write_workers":1,
+			"a_clear_up_seconds":1800,"c_clear_up_seconds":3600,
+			"cname_chain_limit":4,"queue_capacity":1024
+		}
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.DisableRotation || cfg.Key != core.LookupBoth || cfg.NumSplit != 4 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.AClearUpInterval != 1800*time.Second || cfg.CClearUpInterval != 3600*time.Second {
+		t.Fatalf("intervals = %v/%v", cfg.AClearUpInterval, cfg.CClearUpInterval)
+	}
+	if cfg.CNAMEChainLimit != 4 || cfg.FillQueueCap != 1024 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if !f.Output.SkipMisses || f.Output.Path != "out.tsv" {
+		t.Fatalf("output = %+v", f.Output)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want string
+	}{
+		{`not json`, "config:"},
+		{`{}`, "no input streams"},
+		{`{"dns_streams":[{"listen":""}]}`, "missing listen"},
+		{`{"dns_streams":[{"listen":":1","format":"ipfix"}]}`, "unsupported format"},
+		{`{"flow_streams":[{"listen":":1","format":"weird"}]}`, "unsupported format"},
+		{`{"dns_streams":[{"listen":":1"}],"correlator":{"variant":"Bogus"}}`, "unknown variant"},
+		{`{"dns_streams":[{"listen":":1"}],"correlator":{"lookup_key":"sideways"}}`, "unknown lookup_key"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.doc, err, c.want)
+		}
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flowdns.json")
+	data, err := json.MarshalIndent(Example(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.DNSStreams) != 2 || len(f.FlowStreams) != 2 {
+		t.Fatalf("streams = %d/%d", len(f.DNSStreams), len(f.FlowStreams))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestExampleIsValid(t *testing.T) {
+	data, err := json.Marshal(Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err != nil {
+		t.Fatalf("example config invalid: %v", err)
+	}
+}
+
+func TestVariantMapping(t *testing.T) {
+	for _, v := range core.AllVariants() {
+		doc := `{"dns_streams":[{"listen":":1"}],"correlator":{"variant":"` + string(v) + `"}}`
+		f, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if _, err := f.CoreConfig(); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package core implements the FlowDNS correlator — the paper's primary
+// contribution (§3): a real-time join between DNS response streams and
+// NetFlow streams that attributes each flow's source IP to the service
+// (domain name) it belongs to.
+//
+// The pipeline is the paper's Figure 1: FillUp workers drain the DNS queue
+// into sharded answer→query hashmaps; LookUp workers drain the NetFlow
+// queue, resolve each source IP through the IP-NAME maps and then walk the
+// NAME-CNAME maps backwards (up to 6 hops) toward the original service
+// name; Write workers emit correlated flows to a sink. All state lives in
+// active/inactive/long map generations rotated on the clear-up intervals
+// (Algorithms 1 and 2, Table 1).
+package core
+
+import "time"
+
+// Defaults from the paper (Table 1, §3.1, §3.3, Appendix A.6).
+const (
+	DefaultNumSplit         = 10
+	DefaultAClearUpInterval = 3600 * time.Second
+	DefaultCClearUpInterval = 7200 * time.Second
+	DefaultCNAMEChainLimit  = 6
+	DefaultQueueCapacity    = 65536
+)
+
+// LookupKey selects which flow address the LookUp workers resolve. The
+// paper's deployment analyzes traffic sources, "nonetheless, destination
+// address or both source and destination addresses can be used with minor
+// modifications" (§3.1).
+type LookupKey int
+
+// Lookup key modes.
+const (
+	// LookupSource resolves the flow's source IP (the paper's deployment).
+	LookupSource LookupKey = iota
+	// LookupDestination resolves the destination IP (e.g. for egress
+	// attribution: which service are subscribers sending traffic to).
+	LookupDestination
+	// LookupBoth tries the source first and falls back to the destination.
+	LookupBoth
+)
+
+// String names the mode.
+func (k LookupKey) String() string {
+	switch k {
+	case LookupDestination:
+		return "destination"
+	case LookupBoth:
+		return "both"
+	default:
+		return "source"
+	}
+}
+
+// Config controls a Correlator. The zero value is not valid; start from
+// DefaultConfig (the paper's "Main" benchmark) or one of the variant
+// constructors and adjust.
+type Config struct {
+	// NumSplit is the number of splits for the IP-NAME hashmaps (Table 1:
+	// NUM_SPLIT, empirically 10 in the paper's deployment).
+	NumSplit int
+	// AClearUpInterval clears IP-NAME maps (paper: 3600 s, the 99th
+	// percentile of A/AAAA TTLs).
+	AClearUpInterval time.Duration
+	// CClearUpInterval clears NAME-CNAME maps (paper: 7200 s).
+	CClearUpInterval time.Duration
+	// CNAMEChainLimit bounds the CNAME walk (paper: 6 covers >99 %).
+	CNAMEChainLimit int
+
+	// Key selects which flow address is resolved (default: source, as in
+	// the paper's deployment).
+	Key LookupKey
+
+	// Worker counts per stage. The paper allocates "multiple FillUp workers
+	// ... to each DNS stream" and likewise for LookUp; these are the totals.
+	FillUpWorkers int
+	LookUpWorkers int
+	WriteWorkers  int
+
+	// Queue capacities; overflowing queues drop records (stream loss).
+	FillQueueCap  int
+	LookQueueCap  int
+	WriteQueueCap int
+
+	// Ablation switches (§4 benchmarks).
+	DisableSplit    bool // "No Split": one IP-NAME map instead of NumSplit
+	DisableClearUp  bool // "No Clear-Up": maps are never cleared
+	DisableRotation bool // "No Rotation": clear without keeping an inactive copy
+	DisableLong     bool // "No Long Hashmaps": long-TTL records go to Active
+
+	// ExactTTL enables the Appendix A.8 anti-benchmark: records carry their
+	// exact expiry, lookups check it, and a scan-based sweeper removes
+	// expired entries every ExactTTLSweepInterval, write-locking every
+	// shard. The paper measured >90 % stream loss and ~2x memory this way.
+	ExactTTL              bool
+	ExactTTLSweepInterval time.Duration
+}
+
+// DefaultConfig returns the paper's Main configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumSplit:              DefaultNumSplit,
+		AClearUpInterval:      DefaultAClearUpInterval,
+		CClearUpInterval:      DefaultCClearUpInterval,
+		CNAMEChainLimit:       DefaultCNAMEChainLimit,
+		FillUpWorkers:         4,
+		LookUpWorkers:         8,
+		WriteWorkers:          2,
+		FillQueueCap:          DefaultQueueCapacity,
+		LookQueueCap:          DefaultQueueCapacity,
+		WriteQueueCap:         DefaultQueueCapacity,
+		ExactTTLSweepInterval: 60 * time.Second,
+	}
+}
+
+// Variant names the ablation benchmarks of §4 plus the Appendix A.8 mode.
+type Variant string
+
+// The benchmark variants evaluated in the paper.
+const (
+	VariantMain       Variant = "Main"
+	VariantNoSplit    Variant = "NoSplit"
+	VariantNoClearUp  Variant = "NoClearUp"
+	VariantNoRotation Variant = "NoRotation"
+	VariantNoLong     Variant = "NoLong"
+	VariantExactTTL   Variant = "ExactTTL"
+)
+
+// AllVariants lists the figure-3 benchmark variants in the paper's order.
+func AllVariants() []Variant {
+	return []Variant{VariantMain, VariantNoClearUp, VariantNoLong, VariantNoRotation, VariantNoSplit}
+}
+
+// ConfigForVariant returns DefaultConfig with the variant's ablation applied.
+func ConfigForVariant(v Variant) Config {
+	cfg := DefaultConfig()
+	switch v {
+	case VariantNoSplit:
+		cfg.DisableSplit = true
+	case VariantNoClearUp:
+		cfg.DisableClearUp = true
+	case VariantNoRotation:
+		cfg.DisableRotation = true
+	case VariantNoLong:
+		cfg.DisableLong = true
+	case VariantExactTTL:
+		cfg.ExactTTL = true
+	}
+	return cfg
+}
+
+// normalized fills unset fields with defaults so New never builds a broken
+// pipeline from a partially specified config.
+func (c Config) normalized() Config {
+	d := DefaultConfig()
+	if c.NumSplit <= 0 {
+		c.NumSplit = d.NumSplit
+	}
+	if c.AClearUpInterval <= 0 {
+		c.AClearUpInterval = d.AClearUpInterval
+	}
+	if c.CClearUpInterval <= 0 {
+		c.CClearUpInterval = d.CClearUpInterval
+	}
+	if c.CNAMEChainLimit <= 0 {
+		c.CNAMEChainLimit = d.CNAMEChainLimit
+	}
+	if c.FillUpWorkers <= 0 {
+		c.FillUpWorkers = d.FillUpWorkers
+	}
+	if c.LookUpWorkers <= 0 {
+		c.LookUpWorkers = d.LookUpWorkers
+	}
+	if c.WriteWorkers <= 0 {
+		c.WriteWorkers = d.WriteWorkers
+	}
+	if c.FillQueueCap <= 0 {
+		c.FillQueueCap = d.FillQueueCap
+	}
+	if c.LookQueueCap <= 0 {
+		c.LookQueueCap = d.LookQueueCap
+	}
+	if c.WriteQueueCap <= 0 {
+		c.WriteQueueCap = d.WriteQueueCap
+	}
+	if c.ExactTTLSweepInterval <= 0 {
+		c.ExactTTLSweepInterval = d.ExactTTLSweepInterval
+	}
+	if c.DisableSplit {
+		c.NumSplit = 1
+	}
+	return c
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnsname"
+	"repro/internal/dnswire"
+	"repro/internal/netflow"
+	"repro/internal/queue"
+	"repro/internal/stream"
+)
+
+// CorrelatedFlow is the output record: the original flow annotated with the
+// service name FlowDNS resolved for its source IP. It is what the Write
+// workers hand to the sink and what the ISP joins with BGP data downstream.
+type CorrelatedFlow struct {
+	Flow netflow.FlowRecord
+	// Name is the resolved service/domain name, "" when the lookup missed
+	// (result = NULL in Algorithm 2).
+	Name string
+	// ChainLen counts NAME-CNAME hops taken (0 = the IP-NAME hit was final).
+	ChainLen int
+	// Tier records which generation satisfied the IP-NAME lookup.
+	Tier Tier
+	// EnqueuedAt is the wall-clock instant the flow entered the LookUp
+	// queue; sinks derive the paper's write-delay metric from it.
+	EnqueuedAt time.Time
+}
+
+// Correlated reports whether a name was resolved.
+func (c *CorrelatedFlow) Correlated() bool { return c.Name != "" }
+
+// Sink consumes correlated flows. Implementations must be safe for
+// concurrent use when Config.WriteWorkers > 1.
+type Sink interface {
+	Write(cf CorrelatedFlow)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(cf CorrelatedFlow)
+
+// Write calls f.
+func (f SinkFunc) Write(cf CorrelatedFlow) { f(cf) }
+
+// Correlator is the FlowDNS pipeline of Figure 1. Construct with New, feed
+// it via OfferDNS/OfferFlow (or the deterministic IngestDNS/CorrelateFlow),
+// start the workers with Start, and Stop to drain.
+type Correlator struct {
+	cfg  Config
+	sink Sink
+
+	ipName    *store // A/AAAA answer(IP) -> query name
+	nameCname *store // CNAME answer(canonical) -> query (alias)
+
+	fillQ  *queue.Queue[stream.DNSRecord]
+	lookQ  *queue.Queue[netflow.FlowRecord]
+	writeQ *queue.Queue[CorrelatedFlow]
+
+	wgFill  sync.WaitGroup
+	wgLook  sync.WaitGroup
+	wgWrite sync.WaitGroup
+	started atomic.Bool
+
+	stats statsCounters
+}
+
+// New builds a Correlator with the given config and sink. A nil sink
+// discards output (useful for pure measurement runs).
+func New(cfg Config, sink Sink) *Correlator {
+	cfg = cfg.normalized()
+	if sink == nil {
+		sink = SinkFunc(func(CorrelatedFlow) {})
+	}
+	c := &Correlator{
+		cfg:  cfg,
+		sink: sink,
+		ipName: newStore(storeConfig{
+			splits:        cfg.NumSplit,
+			interval:      cfg.AClearUpInterval,
+			rotation:      !cfg.DisableRotation,
+			clearUp:       !cfg.DisableClearUp,
+			longEnabled:   !cfg.DisableLong && !cfg.DisableClearUp,
+			exactTTL:      cfg.ExactTTL,
+			sweepInterval: cfg.ExactTTLSweepInterval,
+		}),
+		// Table 1 lists NAME-CNAME without a split subscript: CNAME volume
+		// is far below A/AAAA volume, so one split suffices.
+		nameCname: newStore(storeConfig{
+			splits:        1,
+			interval:      cfg.CClearUpInterval,
+			rotation:      !cfg.DisableRotation,
+			clearUp:       !cfg.DisableClearUp,
+			longEnabled:   !cfg.DisableLong && !cfg.DisableClearUp,
+			exactTTL:      cfg.ExactTTL,
+			sweepInterval: cfg.ExactTTLSweepInterval,
+		}),
+		fillQ:  queue.New[stream.DNSRecord](cfg.FillQueueCap),
+		lookQ:  queue.New[netflow.FlowRecord](cfg.LookQueueCap),
+		writeQ: queue.New[CorrelatedFlow](cfg.WriteQueueCap),
+	}
+	return c
+}
+
+// Config returns the normalized configuration in effect.
+func (c *Correlator) Config() Config { return c.cfg }
+
+// --- queue-facing API (live pipeline) ---
+
+// OfferDNS places a DNS record on the FillUp queue; a false return is a
+// dropped record (stream loss).
+func (c *Correlator) OfferDNS(rec stream.DNSRecord) bool { return c.fillQ.Offer(rec) }
+
+// OfferFlow places a flow on the LookUp queue; a false return is a dropped
+// record (stream loss).
+func (c *Correlator) OfferFlow(fr netflow.FlowRecord) bool { return c.lookQ.Offer(fr) }
+
+// DNSQueue exposes the FillUp queue so stream sources can offer directly.
+func (c *Correlator) DNSQueue() *queue.Queue[stream.DNSRecord] { return c.fillQ }
+
+// FlowQueue exposes the LookUp queue so stream sources can offer directly.
+func (c *Correlator) FlowQueue() *queue.Queue[netflow.FlowRecord] { return c.lookQ }
+
+// Start launches the FillUp, LookUp, and Write workers.
+func (c *Correlator) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < c.cfg.FillUpWorkers; i++ {
+		c.wgFill.Add(1)
+		go func() {
+			defer c.wgFill.Done()
+			for {
+				rec, ok := c.fillQ.Take()
+				if !ok {
+					return
+				}
+				c.IngestDNS(rec)
+			}
+		}()
+	}
+	for i := 0; i < c.cfg.LookUpWorkers; i++ {
+		c.wgLook.Add(1)
+		go func() {
+			defer c.wgLook.Done()
+			for {
+				fr, ok := c.lookQ.Take()
+				if !ok {
+					return
+				}
+				cf := c.CorrelateFlow(fr)
+				cf.EnqueuedAt = time.Now()
+				c.writeQ.Offer(cf)
+			}
+		}()
+	}
+	for i := 0; i < c.cfg.WriteWorkers; i++ {
+		c.wgWrite.Add(1)
+		go func() {
+			defer c.wgWrite.Done()
+			for {
+				cf, ok := c.writeQ.Take()
+				if !ok {
+					return
+				}
+				c.stats.written.Add(1)
+				c.observeWriteDelay(time.Since(cf.EnqueuedAt))
+				c.sink.Write(cf)
+			}
+		}()
+	}
+}
+
+// Stop closes the input queues, waits for every stage to drain, and returns
+// once the sink has seen all in-flight records. Safe to call once.
+func (c *Correlator) Stop() {
+	c.fillQ.Close()
+	c.lookQ.Close()
+	c.wgFill.Wait()
+	c.wgLook.Wait()
+	c.writeQ.Close()
+	c.wgWrite.Wait()
+}
+
+// --- synchronous API (deterministic replays, tests, examples) ---
+
+// IngestDNS validates one DNS record and fills it into the hashmaps
+// (Algorithm 1). It is the FillUp worker body and may be called directly
+// for deterministic offline replays.
+func (c *Correlator) IngestDNS(rec stream.DNSRecord) {
+	if !rec.IsValid() {
+		c.stats.dnsInvalid.Add(1)
+		return
+	}
+	c.stats.dnsRecords.Add(1)
+	value := dnsname.Normalize(rec.Query)
+	switch rec.RType {
+	case dnswire.TypeA, dnswire.TypeAAAA:
+		c.ipName.put(rec.Timestamp, rec.TTL, rec.Answer, value)
+	case dnswire.TypeCNAME:
+		c.nameCname.put(rec.Timestamp, rec.TTL, dnsname.Normalize(rec.Answer), value)
+	}
+}
+
+// CorrelateFlow resolves one flow (Algorithm 2) and returns the correlated
+// record. It is the LookUp worker body and may be called directly.
+func (c *Correlator) CorrelateFlow(fr netflow.FlowRecord) CorrelatedFlow {
+	cf := CorrelatedFlow{Flow: fr}
+	c.stats.flows.Add(1)
+	c.stats.flowBytes.Add(fr.Bytes)
+	if !fr.IsValid() {
+		c.stats.flowInvalid.Add(1)
+		return cf
+	}
+	var name string
+	tier := TierNone
+	switch c.cfg.Key {
+	case LookupDestination:
+		name, tier = c.ipName.get(fr.Timestamp, stream.AddrKey(fr.DstIP))
+	case LookupBoth:
+		name, tier = c.ipName.get(fr.Timestamp, stream.AddrKey(fr.SrcIP))
+		if tier == TierNone {
+			name, tier = c.ipName.get(fr.Timestamp, stream.AddrKey(fr.DstIP))
+		}
+	default:
+		name, tier = c.ipName.get(fr.Timestamp, stream.AddrKey(fr.SrcIP))
+	}
+	if tier == TierNone {
+		c.stats.misses.Add(1)
+		return cf
+	}
+	cf.Tier = tier
+	c.stats.tierHit(tier)
+
+	// Walk the CNAME chain backwards: answer(canonical) -> query(alias),
+	// ending at the name nothing else aliases — the original service name.
+	first := name
+	result := name
+	hops := 0
+	for hops < c.cfg.CNAMEChainLimit {
+		next, t := c.nameCname.get(fr.Timestamp, result)
+		if t == TierNone || next == result {
+			break
+		}
+		result = next
+		hops++
+	}
+	if hops > 1 {
+		// §3.3 step 7: memoize multi-hop resolutions for later use.
+		c.nameCname.memoize(first, result)
+		c.stats.memoized.Add(1)
+	}
+	cf.Name = result
+	cf.ChainLen = hops
+	c.stats.correlated.Add(1)
+	c.stats.correlatedBytes.Add(fr.Bytes)
+	c.stats.chainHop(hops)
+	return cf
+}
+
+// StoreSizes returns current entry counts of the two map families; the
+// experiments use this as the state-size series behind the memory figures.
+func (c *Correlator) StoreSizes() (ipName, nameCname int) {
+	return c.ipName.size(), c.nameCname.size()
+}
+
+func (c *Correlator) observeWriteDelay(d time.Duration) {
+	for {
+		cur := c.stats.maxWriteDelay.Load()
+		if int64(d) <= cur {
+			return
+		}
+		if c.stats.maxWriteDelay.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}

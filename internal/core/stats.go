@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/queue"
+)
+
+// maxChainBucket is the last chain-length histogram bucket; the limit is 6
+// so bucket 7 collects anything at the cap.
+const maxChainBucket = 8
+
+// statsCounters is the live, atomically updated counter block.
+type statsCounters struct {
+	dnsRecords atomic.Uint64
+	dnsInvalid atomic.Uint64
+
+	flows       atomic.Uint64
+	flowInvalid atomic.Uint64
+	flowBytes   atomic.Uint64
+
+	correlated      atomic.Uint64
+	correlatedBytes atomic.Uint64
+	misses          atomic.Uint64
+
+	hitActive   atomic.Uint64
+	hitInactive atomic.Uint64
+	hitLong     atomic.Uint64
+
+	memoized atomic.Uint64
+	written  atomic.Uint64
+
+	maxWriteDelay atomic.Int64 // ns
+
+	chain [maxChainBucket]atomic.Uint64
+}
+
+func (s *statsCounters) tierHit(t Tier) {
+	switch t {
+	case TierActive:
+		s.hitActive.Add(1)
+	case TierInactive:
+		s.hitInactive.Add(1)
+	case TierLong:
+		s.hitLong.Add(1)
+	}
+}
+
+func (s *statsCounters) chainHop(hops int) {
+	if hops >= maxChainBucket {
+		hops = maxChainBucket - 1
+	}
+	s.chain[hops].Add(1)
+}
+
+// Stats is a point-in-time snapshot of everything the evaluation section
+// reports: correlation rate (by bytes, the paper's headline metric), loss
+// rates on every queue, lookup tier hits, CNAME chain distribution, state
+// sizes, rotation counts, and the write delay.
+type Stats struct {
+	DNSRecords uint64 // valid DNS records filled up
+	DNSInvalid uint64 // records rejected by the §3.2 filter
+
+	Flows       uint64 // flow records processed by LookUp
+	FlowInvalid uint64
+	FlowBytes   uint64 // total traffic volume seen
+
+	Correlated      uint64 // flows with a resolved name
+	CorrelatedBytes uint64 // traffic volume with a resolved name
+	Misses          uint64
+
+	HitActive   uint64
+	HitInactive uint64
+	HitLong     uint64
+
+	Memoized uint64
+	Written  uint64
+
+	MaxWriteDelayNs int64
+
+	ChainHist [maxChainBucket]uint64 // CNAME hops taken per correlated flow
+
+	IPNameEntries    int
+	NameCnameEntries int
+
+	IPNameRotations    uint64
+	NameCnameRotations uint64
+	Sweeps             uint64 // exact-TTL mode only
+	SweptEntries       uint64
+
+	FillQueue  queue.Stats
+	LookQueue  queue.Stats
+	WriteQueue queue.Stats
+}
+
+// CorrelationRate returns correlated bytes over total bytes — the paper's
+// "ratio of correlated traffic to the total traffic" (81.7 % for Main).
+func (s Stats) CorrelationRate() float64 {
+	if s.FlowBytes == 0 {
+		return 0
+	}
+	return float64(s.CorrelatedBytes) / float64(s.FlowBytes)
+}
+
+// CorrelationRateFlows returns correlated flows over total flows.
+func (s Stats) CorrelationRateFlows() float64 {
+	if s.Flows == 0 {
+		return 0
+	}
+	return float64(s.Correlated) / float64(s.Flows)
+}
+
+// LossRate aggregates drop rates across the three stage queues — "loss on
+// the streams" in the paper's terminology.
+func (s Stats) LossRate() float64 {
+	offered := s.FillQueue.Offered() + s.LookQueue.Offered() + s.WriteQueue.Offered()
+	if offered == 0 {
+		return 0
+	}
+	dropped := s.FillQueue.Dropped + s.LookQueue.Dropped + s.WriteQueue.Dropped
+	return float64(dropped) / float64(offered)
+}
+
+// Stats snapshots the correlator's counters.
+func (c *Correlator) Stats() Stats {
+	st := Stats{
+		DNSRecords:         c.stats.dnsRecords.Load(),
+		DNSInvalid:         c.stats.dnsInvalid.Load(),
+		Flows:              c.stats.flows.Load(),
+		FlowInvalid:        c.stats.flowInvalid.Load(),
+		FlowBytes:          c.stats.flowBytes.Load(),
+		Correlated:         c.stats.correlated.Load(),
+		CorrelatedBytes:    c.stats.correlatedBytes.Load(),
+		Misses:             c.stats.misses.Load(),
+		HitActive:          c.stats.hitActive.Load(),
+		HitInactive:        c.stats.hitInactive.Load(),
+		HitLong:            c.stats.hitLong.Load(),
+		Memoized:           c.stats.memoized.Load(),
+		Written:            c.stats.written.Load(),
+		MaxWriteDelayNs:    c.stats.maxWriteDelay.Load(),
+		IPNameRotations:    c.ipName.rotations.Load(),
+		NameCnameRotations: c.nameCname.rotations.Load(),
+		Sweeps:             c.ipName.sweeps.Load() + c.nameCname.sweeps.Load(),
+		SweptEntries:       c.ipName.swept.Load() + c.nameCname.swept.Load(),
+		FillQueue:          c.fillQ.Stats(),
+		LookQueue:          c.lookQ.Stats(),
+		WriteQueue:         c.writeQ.Stats(),
+	}
+	for i := range st.ChainHist {
+		st.ChainHist[i] = c.stats.chain[i].Load()
+	}
+	st.IPNameEntries, st.NameCnameEntries = c.StoreSizes()
+	return st
+}

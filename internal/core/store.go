@@ -1,0 +1,259 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cmap"
+)
+
+// Tier identifies which map generation satisfied a lookup (Algorithm 2's
+// Active → Inactive → Long search order).
+type Tier uint8
+
+// Lookup tiers.
+const (
+	TierNone Tier = iota
+	TierActive
+	TierInactive
+	TierLong
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierActive:
+		return "active"
+	case TierInactive:
+		return "inactive"
+	case TierLong:
+		return "long"
+	default:
+		return "none"
+	}
+}
+
+// store is one family of FlowDNS hashmaps (either IP-NAME or NAME-CNAME):
+// per-split active/inactive/long generations plus the clear-up machinery of
+// Algorithm 1. All methods are safe for concurrent use.
+type store struct {
+	active   []*cmap.Map
+	inactive []*cmap.Map
+	long     []*cmap.Map
+
+	splits        int
+	interval      time.Duration
+	rotation      bool // keep an inactive generation on clear-up
+	clearUp       bool // clear at all
+	longEnabled   bool
+	ttlThreshold  time.Duration // records with TTL >= this go to long
+	exactTTL      bool
+	sweepInterval time.Duration
+
+	// lastClear / lastSweep hold the UnixNano of the record timestamp that
+	// started the current generation; 0 means "not initialized yet".
+	lastClear atomic.Int64
+	lastSweep atomic.Int64
+	rotateMu  sync.Mutex
+
+	rotations atomic.Uint64
+	sweeps    atomic.Uint64
+	swept     atomic.Uint64
+}
+
+// storeConfig carries the subset of Config a store needs.
+type storeConfig struct {
+	splits        int
+	interval      time.Duration
+	rotation      bool
+	clearUp       bool
+	longEnabled   bool
+	exactTTL      bool
+	sweepInterval time.Duration
+	shardsPerMap  int
+}
+
+func newStore(sc storeConfig) *store {
+	if sc.splits < 1 {
+		sc.splits = 1
+	}
+	if sc.shardsPerMap < 1 {
+		sc.shardsPerMap = cmap.DefaultShardCount
+	}
+	s := &store{
+		splits:        sc.splits,
+		interval:      sc.interval,
+		rotation:      sc.rotation,
+		clearUp:       sc.clearUp,
+		longEnabled:   sc.longEnabled,
+		ttlThreshold:  sc.interval,
+		exactTTL:      sc.exactTTL,
+		sweepInterval: sc.sweepInterval,
+		active:        make([]*cmap.Map, sc.splits),
+		inactive:      make([]*cmap.Map, sc.splits),
+		long:          make([]*cmap.Map, sc.splits),
+	}
+	for i := 0; i < sc.splits; i++ {
+		s.active[i] = cmap.NewWithShards(sc.shardsPerMap)
+		s.inactive[i] = cmap.NewWithShards(sc.shardsPerMap)
+		s.long[i] = cmap.NewWithShards(sc.shardsPerMap)
+	}
+	return s
+}
+
+// label implements the paper's step-4 labeling: a stable hash of the key
+// selects which split a record lands in (0 <= n < NUM_SPLIT).
+func (s *store) label(key string) int {
+	if s.splits == 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(s.splits))
+}
+
+// put inserts one record per Algorithm 1: first advance the clear-up clock
+// using the record's own timestamp, then place the record by TTL.
+func (s *store) put(ts time.Time, ttl uint32, key, value string) {
+	s.maybeClearUp(ts)
+	if s.exactTTL {
+		// Appendix A.8: every record carries its exact expiry; the sweep in
+		// maybeSweep scans it back out. Everything lands in Active.
+		s.maybeSweep(ts)
+		s.active[s.label(key)].Set(key, encodeExpiry(value, ts.Add(time.Duration(ttl)*time.Second)))
+		return
+	}
+	n := s.label(key)
+	if s.longEnabled && time.Duration(ttl)*time.Second >= s.ttlThreshold {
+		s.long[n].Set(key, value)
+		return
+	}
+	s.active[n].Set(key, value)
+}
+
+// get implements Algorithm 2's deepLookUp: Active, then Inactive, then Long.
+// In exact-TTL mode the stored expiry is honoured: expired entries do not
+// match (the paper's A.8 condition TTL_dns + Timestamp_dns < Timestamp_netflow).
+func (s *store) get(now time.Time, key string) (string, Tier) {
+	n := s.label(key)
+	if v, ok := s.active[n].Get(key); ok {
+		if s.exactTTL {
+			value, exp := decodeExpiry(v)
+			if now.After(exp) {
+				return "", TierNone
+			}
+			return value, TierActive
+		}
+		return v, TierActive
+	}
+	if v, ok := s.inactive[n].Get(key); ok {
+		return v, TierInactive
+	}
+	if v, ok := s.long[n].Get(key); ok {
+		return v, TierLong
+	}
+	return "", TierNone
+}
+
+// memoize writes a resolved multi-hop result back into the Active maps
+// (§3.3 step 7) without advancing the clear-up clock: the memo entry's
+// lifetime belongs to the current generation.
+func (s *store) memoize(key, value string) {
+	s.active[s.label(key)].Set(key, value)
+}
+
+// maybeClearUp rotates (or clears) every split once interval has elapsed on
+// the record clock. Only one goroutine performs the rotation; the check is
+// cheap for everyone else.
+func (s *store) maybeClearUp(ts time.Time) {
+	if !s.clearUp || s.exactTTL {
+		return
+	}
+	last := s.lastClear.Load()
+	if last == 0 {
+		// First record initializes the generation clock.
+		s.lastClear.CompareAndSwap(0, ts.UnixNano())
+		return
+	}
+	if ts.UnixNano()-last < int64(s.interval) {
+		return
+	}
+	s.rotateMu.Lock()
+	defer s.rotateMu.Unlock()
+	last = s.lastClear.Load()
+	if ts.UnixNano()-last < int64(s.interval) {
+		return // someone else rotated while we waited
+	}
+	for i := range s.active {
+		if s.rotation {
+			s.active[i].Snapshot(s.inactive[i])
+		} else {
+			s.active[i].Clear()
+		}
+	}
+	s.lastClear.Store(ts.UnixNano())
+	s.rotations.Add(1)
+}
+
+// maybeSweep runs the exact-TTL scan-based expiry (Appendix A.8's "regular
+// process to clear-up the expired DNS records"). It write-locks every shard
+// of every split while scanning — the contention the paper blames for the
+// >90 % loss rate.
+func (s *store) maybeSweep(ts time.Time) {
+	last := s.lastSweep.Load()
+	if last == 0 {
+		s.lastSweep.CompareAndSwap(0, ts.UnixNano())
+		return
+	}
+	if ts.UnixNano()-last < int64(s.sweepInterval) {
+		return
+	}
+	if !s.lastSweep.CompareAndSwap(last, ts.UnixNano()) {
+		return // another worker is sweeping
+	}
+	removed := 0
+	for i := range s.active {
+		removed += s.active[i].RemoveIf(func(_, v string) bool {
+			_, exp := decodeExpiry(v)
+			return ts.After(exp)
+		})
+	}
+	s.sweeps.Add(1)
+	s.swept.Add(uint64(removed))
+}
+
+// size returns total entries across all generations and splits.
+func (s *store) size() int {
+	n := 0
+	for i := range s.active {
+		n += s.active[i].Len() + s.inactive[i].Len() + s.long[i].Len()
+	}
+	return n
+}
+
+// expiry encoding for exact-TTL mode: "value\x00unixNano".
+func encodeExpiry(value string, exp time.Time) string {
+	return value + "\x00" + strconv.FormatInt(exp.UnixNano(), 10)
+}
+
+func decodeExpiry(v string) (string, time.Time) {
+	i := strings.LastIndexByte(v, 0)
+	if i < 0 {
+		return v, time.Time{}
+	}
+	ns, err := strconv.ParseInt(v[i+1:], 10, 64)
+	if err != nil {
+		return v[:i], time.Time{}
+	}
+	return v[:i], time.Unix(0, ns)
+}

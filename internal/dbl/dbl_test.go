@@ -1,0 +1,94 @@
+package dbl
+
+import "testing"
+
+func TestLookupExactAndSuffix(t *testing.T) {
+	l := NewList()
+	l.Add("bad.example", Spam)
+	l.Add("cc.botnet.example", Botnet)
+	cases := []struct {
+		domain string
+		want   Category
+	}{
+		{"bad.example", Spam},
+		{"x.bad.example", Spam},
+		{"deep.x.bad.example", Spam},
+		{"cc.botnet.example", Botnet},
+		{"notbad.example", Benign},
+		{"example", Benign},
+		{"", Benign},
+	}
+	for _, c := range cases {
+		if got := l.Lookup(c.domain); got != c.want {
+			t.Errorf("Lookup(%q) = %v, want %v", c.domain, got, c.want)
+		}
+	}
+}
+
+func TestLookupNormalization(t *testing.T) {
+	l := NewList()
+	l.Add("Bad.Example.", Phish)
+	if got := l.Lookup("BAD.EXAMPLE"); got != Phish {
+		t.Fatalf("case-insensitive lookup = %v", got)
+	}
+	if got := l.Lookup("bad.example."); got != Phish {
+		t.Fatalf("trailing-dot lookup = %v", got)
+	}
+}
+
+func TestAddEmptyIgnored(t *testing.T) {
+	l := NewList()
+	l.Add("", Spam)
+	l.Add(".", Spam)
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		Benign: "benign", Spam: "spam", Botnet: "botnet",
+		AbusedRedirector: "abused-redirector", Malware: "malware", Phish: "phish",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if len(Categories()) != 5 {
+		t.Fatalf("Categories() = %v", Categories())
+	}
+	for _, c := range Categories() {
+		if c == Benign {
+			t.Fatal("Benign in suspicious categories")
+		}
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler()
+	if !s.Checked("a.example") {
+		t.Fatal("first check must be true")
+	}
+	if s.Checked("a.example") {
+		t.Fatal("second check must be false")
+	}
+	if !s.Checked("b.example") {
+		t.Fatal("different domain must be true")
+	}
+	if s.Size() != 2 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	s.Reset()
+	if s.Size() != 0 || !s.Checked("a.example") {
+		t.Fatal("Reset did not open a new window")
+	}
+}
+
+func TestSamplerNormalizes(t *testing.T) {
+	s := NewSampler()
+	s.Checked("A.Example.")
+	if s.Checked("a.example") {
+		t.Fatal("normalization not applied in sampler")
+	}
+}

@@ -1,0 +1,226 @@
+package dnsname
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckValidNames(t *testing.T) {
+	valid := []string{
+		"example.com",
+		"example.com.",
+		"a.b.c.com",
+		"cdn-edge-3.fra1.example.net",
+		"x1.y2.z3",
+		"a",
+		"abc123.example.org",
+		strings.Repeat("a", 63) + ".com",
+	}
+	for _, name := range valid {
+		if v := Check(name); v != OK {
+			t.Errorf("Check(%q) = %v, want OK", name, v)
+		}
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		want Violation
+	}{
+		{strings.Repeat("a.", 130) + "com", TooLong},
+		{strings.Repeat("a", 64) + ".com", LabelTooLong},
+		{"", EmptyLabel},
+		{".", EmptyLabel},
+		{"a..b.com", EmptyLabel},
+		{".example.com", EmptyLabel},
+		{"1example.com", BadStart},
+		{"-lead.example.com", BadStart},
+		{"_sip.example.com", BadStart},
+		{"trail-.example.com", BadEnd},
+		{"example.com-", BadEnd},
+		{"foo_bar.example.com", BadInterior},
+		{"a_b.com", BadInterior},
+		{"sp ace.example.com", BadInterior},
+		{"emoji\xf0\x9f\x98\x80x.example.com", BadInterior},
+	}
+	for _, c := range cases {
+		if got := Check(c.name); got != c.want {
+			t.Errorf("Check(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCheckTrailingDotEquivalence(t *testing.T) {
+	names := []string{"example.com", "foo_bar.net", "1bad.org", strings.Repeat("a", 64) + ".com"}
+	for _, n := range names {
+		if Check(n) != Check(n+".") {
+			t.Errorf("Check(%q) != Check(%q.)", n, n)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Example.COM.", "example.com"},
+		{"example.com", "example.com"},
+		{"CDN.EXAMPLE.NET", "cdn.example.net"},
+		{"already.lower", "already.lower"},
+		{".", ""},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeNoAllocWhenLower(t *testing.T) {
+	in := "cdn.example.com"
+	if got := Normalize(in); got != in {
+		t.Fatalf("Normalize changed %q to %q", in, got)
+	}
+	allocs := testing.AllocsPerRun(100, func() { Normalize(in) })
+	if allocs != 0 {
+		t.Errorf("Normalize(lowercase) allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestHasUnderscore(t *testing.T) {
+	if !HasUnderscore("_dmarc.example.com") {
+		t.Error("underscore not detected")
+	}
+	if HasUnderscore("example.com") {
+		t.Error("false positive underscore")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	got := Labels("a.b.c.com.")
+	want := []string{"a", "b", "c", "com"}
+	if len(got) != len(want) {
+		t.Fatalf("Labels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", got, want)
+		}
+	}
+	if Labels("") != nil {
+		t.Error("Labels(\"\") != nil")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid("example.com") || Valid("foo_bar.com") {
+		t.Error("Valid misclassifies")
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := NewReport()
+	r.Add("good.example.com")
+	r.Add("has_underscore.example.com")
+	r.Add("another_bad.example.com")
+	r.Add("-lead.example.com")
+	if r.Total != 4 || r.Invalid != 3 {
+		t.Fatalf("Total=%d Invalid=%d; want 4,3", r.Total, r.Invalid)
+	}
+	if r.ByViolation[BadInterior] != 2 || r.ByViolation[BadStart] != 1 {
+		t.Fatalf("ByViolation = %v", r.ByViolation)
+	}
+	if got := r.UnderscoreShare(); got != 2.0/3.0 {
+		t.Fatalf("UnderscoreShare = %v, want 2/3", got)
+	}
+	if got := r.InvalidShare(); got != 0.75 {
+		t.Fatalf("InvalidShare = %v, want 0.75", got)
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	r := NewReport()
+	if r.UnderscoreShare() != 0 || r.InvalidShare() != 0 {
+		t.Error("empty report shares must be 0")
+	}
+}
+
+// Property: Check never panics and Normalize is idempotent for any input.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		_ = Check(s)
+		return Normalize(n) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any name built from valid LDH labels within limits passes Check.
+func TestQuickConstructedValidNames(t *testing.T) {
+	f := func(seed uint32, nLabels uint8) bool {
+		labels := int(nLabels%5) + 1
+		parts := make([]string, labels)
+		r := seed
+		next := func() uint32 { r = r*1664525 + 1013904223; return r }
+		for i := range parts {
+			l := int(next()%10) + 1
+			b := make([]byte, l)
+			b[0] = byte('a' + next()%26)
+			for j := 1; j < l-1; j++ {
+				switch next() % 3 {
+				case 0:
+					b[j] = byte('a' + next()%26)
+				case 1:
+					b[j] = byte('0' + next()%10)
+				default:
+					b[j] = '-'
+				}
+			}
+			if l > 1 {
+				if next()%2 == 0 {
+					b[l-1] = byte('a' + next()%26)
+				} else {
+					b[l-1] = byte('0' + next()%10)
+				}
+			}
+			parts[i] = string(b)
+		}
+		name := strings.Join(parts, ".")
+		if len(name) > MaxNameLen {
+			return true // out of scope for this property
+		}
+		return Check(name) == OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	for v, want := range map[Violation]string{
+		OK: "ok", TooLong: "name-too-long", LabelTooLong: "label-too-long",
+		EmptyLabel: "empty-label", BadStart: "bad-label-start",
+		BadEnd: "bad-label-end", BadInterior: "bad-interior-char",
+		Violation(99): "unknown",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	name := "edge-42.fra1.cdn.example-service.com"
+	for i := 0; i < b.N; i++ {
+		Check(name)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	name := "Edge-42.FRA1.cdn.Example-Service.COM."
+	for i := 0; i < b.N; i++ {
+		Normalize(name)
+	}
+}

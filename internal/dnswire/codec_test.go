@@ -1,0 +1,503 @@
+package dnswire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func sampleResponse(t *testing.T) *Message {
+	return &Message{
+		Header: Header{
+			ID: 0x1234, Response: true, RecursionDesired: true,
+			RecursionAvailable: true, RCode: RCodeNoError,
+		},
+		Questions: []Question{{Name: "video.service.example", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{
+			{Name: "video.service.example", Type: TypeCNAME, Class: ClassIN, TTL: 300,
+				Target: "edge7.cdn.example"},
+			{Name: "edge7.cdn.example", Type: TypeA, Class: ClassIN, TTL: 60,
+				Addr: mustAddr(t, "198.51.100.7")},
+		},
+	}
+}
+
+func TestRoundTripResponse(t *testing.T) {
+	m := sampleResponse(t)
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.ID != 0x1234 || !got.Header.Response {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	if got.QName() != "video.service.example" {
+		t.Fatalf("QName = %q", got.QName())
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	if got.Answers[0].Type != TypeCNAME || got.Answers[0].Target != "edge7.cdn.example" {
+		t.Fatalf("answer[0] = %+v", got.Answers[0])
+	}
+	if got.Answers[1].Type != TypeA || got.Answers[1].Addr != mustAddr(t, "198.51.100.7") {
+		t.Fatalf("answer[1] = %+v", got.Answers[1])
+	}
+	if got.Answers[1].TTL != 60 {
+		t.Fatalf("TTL = %d", got.Answers[1].TTL)
+	}
+}
+
+func TestCompressionShrinksMessage(t *testing.T) {
+	m := sampleResponse(t)
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The QName repeats in answer 0 and the shared suffix "cdn.example"
+	// repeats in answer 1; compression must beat naive re-encoding.
+	naive := 12 +
+		(len("video.service.example") + 2 + 4) + // question
+		(len("video.service.example") + 2 + 10 + len("edge7.cdn.example") + 2) +
+		(len("edge7.cdn.example") + 2 + 10 + 4)
+	if len(wire) >= naive {
+		t.Fatalf("wire %d bytes, naive %d: compression ineffective", len(wire), naive)
+	}
+	// And decoding must still see full names.
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Name != "video.service.example" {
+		t.Fatalf("compressed name decode = %q", got.Answers[0].Name)
+	}
+}
+
+func TestRoundTripAAAA(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 9, Response: true},
+		Questions: []Question{{Name: "v6.example", Type: TypeAAAA, Class: ClassIN}},
+		Answers: []Record{{Name: "v6.example", Type: TypeAAAA, Class: ClassIN, TTL: 7200,
+			Addr: mustAddr(t, "2001:db8::42")}},
+	}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Addr != mustAddr(t, "2001:db8::42") {
+		t.Fatalf("AAAA addr = %v", got.Answers[0].Addr)
+	}
+}
+
+func TestRoundTripAllSections(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 77, Response: true, Authoritative: true},
+		Questions: []Question{{Name: "example.org", Type: TypeMX, Class: ClassIN}},
+		Answers: []Record{
+			{Name: "example.org", Type: TypeMX, Class: ClassIN, TTL: 3600,
+				Pref: 10, Target: "mail.example.org"},
+			{Name: "example.org", Type: TypeTXT, Class: ClassIN, TTL: 60,
+				TXT: []string{"v=spf1 -all", "second-chunk"}},
+		},
+		Authority: []Record{
+			{Name: "example.org", Type: TypeNS, Class: ClassIN, TTL: 86400,
+				Target: "ns1.example.org"},
+			{Name: "example.org", Type: TypeSOA, Class: ClassIN, TTL: 86400,
+				SOA: &SOAData{MName: "ns1.example.org", RName: "hostmaster.example.org",
+					Serial: 2022110501, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300}},
+		},
+		Additional: []Record{
+			{Name: "mail.example.org", Type: TypeA, Class: ClassIN, TTL: 3600,
+				Addr: mustAddr(t, "192.0.2.25")},
+		},
+	}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 2 || len(got.Authority) != 2 || len(got.Additional) != 1 {
+		t.Fatalf("sections = %d/%d/%d", len(got.Answers), len(got.Authority), len(got.Additional))
+	}
+	if got.Answers[0].Pref != 10 || got.Answers[0].Target != "mail.example.org" {
+		t.Fatalf("MX = %+v", got.Answers[0])
+	}
+	if !reflect.DeepEqual(got.Answers[1].TXT, []string{"v=spf1 -all", "second-chunk"}) {
+		t.Fatalf("TXT = %v", got.Answers[1].TXT)
+	}
+	soa := got.Authority[1].SOA
+	if soa == nil || soa.Serial != 2022110501 || soa.RName != "hostmaster.example.org" {
+		t.Fatalf("SOA = %+v", soa)
+	}
+}
+
+func TestRoundTripUnknownType(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 5, Response: true},
+		Answers: []Record{{Name: "x.example", Type: Type(999), Class: ClassIN, TTL: 1,
+			Raw: []byte{0xDE, 0xAD, 0xBE, 0xEF}}},
+	}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Answers[0].Raw, []byte{0xDE, 0xAD, 0xBE, 0xEF}) {
+		t.Fatalf("raw rdata = %x", got.Answers[0].Raw)
+	}
+}
+
+func TestEncodeRejectsBadRecords(t *testing.T) {
+	cases := []Message{
+		{Answers: []Record{{Name: "a.example", Type: TypeA, Addr: mustAddr(t, "2001:db8::1")}}},
+		{Answers: []Record{{Name: "a.example", Type: TypeAAAA, Addr: mustAddr(t, "192.0.2.1")}}},
+		{Answers: []Record{{Name: strings.Repeat("a", 64) + ".example", Type: TypeA, Addr: mustAddr(t, "192.0.2.1")}}},
+		{Answers: []Record{{Name: strings.Repeat("ab.", 100) + "example", Type: TypeA, Addr: mustAddr(t, "192.0.2.1")}}},
+		{Answers: []Record{{Name: "t.example", Type: TypeTXT, TXT: []string{strings.Repeat("x", 256)}}}},
+	}
+	for i := range cases {
+		cases[i].Header.ANCount = 1
+		if _, err := Encode(&cases[i]); err == nil {
+			t.Errorf("case %d: Encode accepted invalid record", i)
+		}
+	}
+}
+
+func TestDecodeShortInputs(t *testing.T) {
+	m := sampleResponse(t)
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly, never panic.
+	for l := 0; l < len(wire); l++ {
+		if _, err := Decode(wire[:l]); err == nil {
+			t.Fatalf("Decode accepted %d-byte prefix", l)
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	wire, err := Encode(sampleResponse(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(wire, 0x00)); err != ErrTrailingGarbage {
+		t.Fatalf("err = %v, want ErrTrailingGarbage", err)
+	}
+	// DecodePrefix tolerates it and reports consumption.
+	msg, n, err := DecodePrefix(append(wire, 0xAA, 0xBB))
+	if err != nil || n != len(wire) || msg.QName() != "video.service.example" {
+		t.Fatalf("DecodePrefix = %v, %d, %v", msg, n, err)
+	}
+}
+
+func TestDecodePointerLoop(t *testing.T) {
+	// Header + a question whose name is a pointer to itself.
+	msg := make([]byte, 12)
+	binary.BigEndian.PutUint16(msg[4:], 1) // QDCount
+	msg = append(msg, 0xC0, 12)            // pointer to offset 12 (itself)
+	msg = append(msg, 0, 1, 0, 1)
+	if _, err := Decode(msg); err == nil {
+		t.Fatal("self-pointer accepted")
+	}
+}
+
+func TestDecodeForwardPointerRejected(t *testing.T) {
+	msg := make([]byte, 12)
+	binary.BigEndian.PutUint16(msg[4:], 1)
+	msg = append(msg, 0xC0, 40) // forward/out-of-range pointer
+	msg = append(msg, 0, 1, 0, 1)
+	if _, err := Decode(msg); err == nil {
+		t.Fatal("forward pointer accepted")
+	}
+}
+
+func TestDecodeCountBomb(t *testing.T) {
+	msg := make([]byte, 12)
+	binary.BigEndian.PutUint16(msg[6:], 0xFFFF) // 65535 answers, no bytes
+	if _, err := Decode(msg); err != ErrTooManyRRs {
+		t.Fatalf("err = %v, want ErrTooManyRRs", err)
+	}
+}
+
+func TestDecodeReservedLabelBits(t *testing.T) {
+	msg := make([]byte, 12)
+	binary.BigEndian.PutUint16(msg[4:], 1)
+	msg = append(msg, 0x80, 'x') // 10xxxxxx label type is reserved
+	msg = append(msg, 0, 0, 1, 0, 1)
+	if _, err := Decode(msg); err == nil {
+		t.Fatal("reserved label type accepted")
+	}
+}
+
+func TestRDataLengthMismatch(t *testing.T) {
+	// Build a valid A record then corrupt RDLENGTH.
+	m := &Message{Header: Header{Response: true},
+		Answers: []Record{{Name: "a.example", Type: TypeA, Class: ClassIN, TTL: 1,
+			Addr: mustAddr(t, "192.0.2.1")}}}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[len(wire)-5] = 3 // RDLENGTH 4 -> 3
+	if _, err := Decode(wire[:len(wire)-1]); err == nil {
+		t.Fatal("corrupt RDLENGTH accepted")
+	}
+}
+
+func TestNameCaseAndDotHandling(t *testing.T) {
+	m := &Message{
+		Header:    Header{Response: true},
+		Questions: []Question{{Name: "MiXeD.Example.COM.", Type: TypeA, Class: ClassIN}},
+	}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire format preserves case; trailing dot is not represented.
+	if got.QName() != "MiXeD.Example.COM" {
+		t.Fatalf("QName = %q", got.QName())
+	}
+}
+
+func TestRootName(t *testing.T) {
+	m := &Message{
+		Header:    Header{Response: true},
+		Questions: []Question{{Name: ".", Type: TypeNS, Class: ClassIN}},
+	}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.QName() != "" {
+		t.Fatalf("root QName = %q", got.QName())
+	}
+}
+
+func TestTypeAndRCodeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" || TypeCNAME.String() != "CNAME" {
+		t.Error("type strings wrong")
+	}
+	if Type(9999).String() != "TYPE9999" {
+		t.Errorf("unknown type = %q", Type(9999).String())
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(15).String() != "RCODE15" {
+		t.Error("rcode strings wrong")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	s := sampleResponse(t).String()
+	for _, want := range []string{"id=4660", "NOERROR", "q=video.service.example"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: encode→decode is the identity on well-formed A/CNAME responses.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(id uint16, ttl uint32, lbl1, lbl2 uint8, ip [4]byte) bool {
+		name := genLabel(lbl1) + ".svc." + genLabel(lbl2) + ".example"
+		cdn := "edge." + genLabel(lbl2) + ".cdn-host.net"
+		m := &Message{
+			Header:    Header{ID: id, Response: true},
+			Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+			Answers: []Record{
+				{Name: name, Type: TypeCNAME, Class: ClassIN, TTL: ttl % 86400, Target: cdn},
+				{Name: cdn, Type: TypeA, Class: ClassIN, TTL: ttl % 3600, Addr: netip.AddrFrom4(ip)},
+			},
+		}
+		wire, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.Header.ID == id &&
+			got.QName() == name &&
+			got.Answers[0].Target == cdn &&
+			got.Answers[0].TTL == ttl%86400 &&
+			got.Answers[1].Addr == netip.AddrFrom4(ip)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary bytes.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genLabel(n uint8) string {
+	l := int(n%20) + 1
+	b := make([]byte, l)
+	for i := range b {
+		b[i] = byte('a' + (int(n)+i*7)%26)
+	}
+	return string(b)
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1, Response: true},
+		Questions: []Question{{Name: "video.service.example", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{
+			{Name: "video.service.example", Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: "edge7.cdn.example"},
+			{Name: "edge7.cdn.example", Type: TypeA, Class: ClassIN, TTL: 60, Addr: netip.AddrFrom4([4]byte{198, 51, 100, 7})},
+		},
+	}
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = AppendMessage(buf, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1, Response: true},
+		Questions: []Question{{Name: "video.service.example", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{
+			{Name: "video.service.example", Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: "edge7.cdn.example"},
+			{Name: "edge7.cdn.example", Type: TypeA, Class: ClassIN, TTL: 60, Addr: netip.AddrFrom4([4]byte{198, 51, 100, 7})},
+		},
+	}
+	wire, err := Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTripSRV(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 33, Response: true},
+		Questions: []Question{{Name: "_sip._tcp.example.org", Type: TypeSRV, Class: ClassIN}},
+		Answers: []Record{{
+			Name: "_sip._tcp.example.org", Type: TypeSRV, Class: ClassIN, TTL: 300,
+			Priority: 10, Weight: 60, Port: 5060, Target: "sip1.example.org",
+		}},
+	}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := got.Answers[0]
+	if srv.Priority != 10 || srv.Weight != 60 || srv.Port != 5060 || srv.Target != "sip1.example.org" {
+		t.Fatalf("SRV = %+v", srv)
+	}
+	// Underscore-labeled owner names (the paper's dominant malformation
+	// source) must survive the wire untouched.
+	if srv.Name != "_sip._tcp.example.org" {
+		t.Fatalf("owner = %q", srv.Name)
+	}
+	if TypeSRV.String() != "SRV" {
+		t.Fatal("SRV type string")
+	}
+}
+
+func TestSRVShortRData(t *testing.T) {
+	m := &Message{Header: Header{Response: true},
+		Answers: []Record{{Name: "s.example", Type: TypeSRV, Class: ClassIN, TTL: 1,
+			Priority: 1, Weight: 1, Port: 1, Target: "t.example"}}}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the SRV rdata below its 7-byte minimum: find RDLENGTH and
+	// corrupt it.
+	wire[len(wire)-len("t.example")-2-6-1] = 0 // best-effort corruption
+	if _, err := Decode(wire[:len(wire)-8]); err == nil {
+		t.Fatal("corrupt SRV accepted")
+	}
+}
+
+// Property: for responses whose answers share the question's name (the
+// common shape of real responses), compression never produces a larger
+// message than the sum of naive single-record encodings.
+func TestQuickCompressionNeverGrows(t *testing.T) {
+	f := func(l1, l2 uint8, ip [4]byte) bool {
+		name := genLabel(l1) + ".svc." + genLabel(l2) + ".example"
+		m := &Message{
+			Header:    Header{Response: true},
+			Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+			Answers: []Record{
+				{Name: name, Type: TypeA, Class: ClassIN, TTL: 60, Addr: netip.AddrFrom4(ip)},
+				{Name: name, Type: TypeA, Class: ClassIN, TTL: 60, Addr: netip.AddrFrom4(ip)},
+			},
+		}
+		wire, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		naive := 12 + (len(name) + 2 + 4) + 2*(len(name)+2+10+4)
+		if len(wire) > naive {
+			return false
+		}
+		got, err := Decode(wire)
+		return err == nil && got.Answers[1].Name == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

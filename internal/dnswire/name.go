@@ -1,0 +1,131 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors returned by the name codec.
+var (
+	ErrNameTooLong     = errors.New("dnswire: name exceeds 255 bytes")
+	ErrLabelTooLong    = errors.New("dnswire: label exceeds 63 bytes")
+	ErrBadPointer      = errors.New("dnswire: compression pointer out of range")
+	ErrPointerLoop     = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedName   = errors.New("dnswire: truncated name")
+	ErrReservedLabel   = errors.New("dnswire: reserved label type")
+	ErrTrailingGarbage = errors.New("dnswire: trailing bytes after message")
+)
+
+const (
+	maxEncodedName = 255
+	maxLabel       = 63
+	// maxPointers bounds pointer chasing; a valid message never needs more
+	// than the number of labels a 255-byte name can hold.
+	maxPointers = 128
+)
+
+// appendName encodes name (presentation form, trailing dot optional) into
+// buf in wire format, using dict to emit RFC 1035 compression pointers for
+// suffixes that have already been written at offsets representable in 14
+// bits. It returns the extended buffer. The dict maps a canonical suffix
+// string to its wire offset; pass nil to disable compression.
+func appendName(buf []byte, name string, dict map[string]int) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name)+2 > maxEncodedName {
+		return buf, ErrNameTooLong
+	}
+	// Walk suffixes: for "a.b.c" try "a.b.c", then "b.c", then "c".
+	rest := name
+	for rest != "" {
+		if dict != nil {
+			if off, ok := dict[rest]; ok && off < 0x4000 {
+				buf = append(buf, 0xC0|byte(off>>8), byte(off))
+				return buf, nil
+			}
+			if len(buf) < 0x4000 {
+				dict[rest] = len(buf)
+			}
+		}
+		label := rest
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			label = rest[:i]
+			rest = rest[i+1:]
+		} else {
+			rest = ""
+		}
+		if len(label) == 0 {
+			// Empty interior label ("a..b"): encode as a zero-length label is
+			// illegal, so reject. Malformed names travel through FlowDNS as
+			// data, but on the wire they must still be legal label sequences.
+			return buf, ErrTruncatedName
+		}
+		if len(label) > maxLabel {
+			return buf, ErrLabelTooLong
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// decodeName reads a (possibly compressed) name starting at off within msg.
+// It returns the presentation-form name (no trailing dot, original case
+// preserved) and the offset of the first byte after the name as it appears
+// at off (i.e. after the pointer if the name is compressed there).
+func decodeName(msg []byte, off int) (string, int, error) {
+	var b strings.Builder
+	ptrBudget := maxPointers
+	end := -1 // offset after the name at the original position
+	pos := off
+	written := 0
+	for {
+		if pos >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		c := msg[pos]
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = pos + 1
+			}
+			return b.String(), end, nil
+		case c&0xC0 == 0xC0:
+			if pos+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			target := int(c&0x3F)<<8 | int(msg[pos+1])
+			if end < 0 {
+				end = pos + 2
+			}
+			if target >= pos || target >= len(msg) {
+				// RFC 1035 pointers must point backwards; forward pointers
+				// are how loops are built.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			pos = target
+		case c&0xC0 != 0:
+			return "", 0, ErrReservedLabel
+		default:
+			l := int(c)
+			if pos+1+l > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			if written+l+1 > maxEncodedName {
+				return "", 0, ErrNameTooLong
+			}
+			if b.Len() > 0 {
+				b.WriteByte('.')
+			}
+			b.Write(msg[pos+1 : pos+1+l])
+			written += l + 1
+			pos += 1 + l
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "ECDF of CNAME chain length over a day",
+		Paper: "Figure 6 (Appendix A.4)",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "ECDF of TTLs per DNS record type over a day",
+		Paper: "Figure 8 (Appendix A.6)",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "ECDF of number of domain names per IP address",
+		Paper: "Figure 9 (Appendix A.7)",
+		Run:   runFig9,
+	})
+}
+
+// runFig6 measures CNAME chain lengths over a simulated day of DNS traffic:
+// for every query event, the number of CNAME records between the service
+// name and the address records.
+func runFig6(scale float64) *Result {
+	scale = clampScale(scale)
+	u := workload.NewUniverse(workload.DefaultConfig())
+	g := workload.NewGenerator(u, 8)
+	e := metrics.NewECDF()
+	events := int(100000 * scale)
+	for i := 0; i < events; i++ {
+		ts := SimStart.Add(time.Duration(i) * time.Second)
+		recs := g.DNSQueryEvent(ts)
+		chain := 0
+		for _, rec := range recs {
+			if rec.RType == dnswire.TypeCNAME {
+				chain++
+			}
+		}
+		if chain > 0 {
+			e.Add(float64(chain))
+		}
+	}
+	r := &Result{ID: "fig6", Title: "CNAME chain length ECDF"}
+	r.addLine("%-6s %-8s", "len", "ECDF")
+	for _, p := range e.Steps() {
+		r.addLine("%-6.0f %-8.4f", p.X, p.Y)
+	}
+	r.set("p_within_6", e.At(6))
+	r.set("p99_len", e.Quantile(0.99))
+	r.set("max_len", e.Quantile(1))
+	r.Headline = fmt.Sprintf("P(len<=6)=%.4f, p99=%.0f, max=%.0f (paper: >99%% within 6)",
+		e.At(6), e.Quantile(0.99), e.Quantile(1))
+	return r
+}
+
+// runFig8 collects the TTLs of a day of DNS records, per record type.
+func runFig8(scale float64) *Result {
+	scale = clampScale(scale)
+	u := workload.NewUniverse(workload.DefaultConfig())
+	g := workload.NewGenerator(u, 9)
+	dists := map[dnswire.Type]*metrics.ECDF{
+		dnswire.TypeA:     metrics.NewECDF(),
+		dnswire.TypeAAAA:  metrics.NewECDF(),
+		dnswire.TypeCNAME: metrics.NewECDF(),
+	}
+	events := int(80000 * scale)
+	for i := 0; i < events; i++ {
+		ts := SimStart.Add(time.Duration(i) * time.Second)
+		for _, rec := range g.DNSQueryEvent(ts) {
+			if e, ok := dists[rec.RType]; ok {
+				e.Add(float64(rec.TTL))
+			}
+		}
+	}
+	r := &Result{ID: "fig8", Title: "TTL ECDF per record type"}
+	marks := []float64{60, 300, 600, 3600, 7200, 18000}
+	r.addLine("%-8s %-10s %-10s %-10s", "TTL", "A", "AAAA", "CNAME")
+	for _, m := range marks {
+		r.addLine("%-8.0f %-10.4f %-10.4f %-10.4f", m,
+			dists[dnswire.TypeA].At(m), dists[dnswire.TypeAAAA].At(m), dists[dnswire.TypeCNAME].At(m))
+	}
+	r.set("a_le_300", dists[dnswire.TypeA].At(300))
+	r.set("a_lt_3600", dists[dnswire.TypeA].At(3599))
+	r.set("aaaa_lt_3600", dists[dnswire.TypeAAAA].At(3599))
+	r.set("cname_lt_7200", dists[dnswire.TypeCNAME].At(7199))
+	r.set("a_records", float64(dists[dnswire.TypeA].N()))
+	r.set("aaaa_records", float64(dists[dnswire.TypeAAAA].N()))
+	r.set("cname_records", float64(dists[dnswire.TypeCNAME].N()))
+	r.Headline = fmt.Sprintf("P(A ttl<=300)=%.3f, P(A ttl<3600)=%.3f, P(CNAME ttl<7200)=%.3f (paper: 0.70/0.99/0.99)",
+		dists[dnswire.TypeA].At(300), dists[dnswire.TypeA].At(3599), dists[dnswire.TypeCNAME].At(7199))
+	return r
+}
+
+// runFig9 measures domain names per IP in a 300-second window and a 1-hour
+// window of DNS records.
+func runFig9(scale float64) *Result {
+	scale = clampScale(scale)
+	u := workload.NewUniverse(workload.DefaultConfig())
+	g := workload.NewGenerator(u, 10)
+	window := func(duration time.Duration, eventsPerSec int) (*metrics.ECDF, int) {
+		names := make(map[string]map[string]struct{})
+		secs := int(duration.Seconds())
+		for s := 0; s < secs; s++ {
+			ts := SimStart.Add(time.Duration(s) * time.Second)
+			for q := 0; q < eventsPerSec; q++ {
+				for _, rec := range g.DNSQueryEvent(ts) {
+					if rec.RType == dnswire.TypeCNAME {
+						continue
+					}
+					if names[rec.Answer] == nil {
+						names[rec.Answer] = make(map[string]struct{})
+					}
+					names[rec.Answer][rec.Query] = struct{}{}
+				}
+			}
+		}
+		e := metrics.NewECDF()
+		for _, qs := range names {
+			e.Add(float64(len(qs)))
+		}
+		return e, len(names)
+	}
+	perSec := int(80 * scale)
+	if perSec < 4 {
+		perSec = 4
+	}
+	e300, ips300 := window(300*time.Second, perSec)
+	e1h, ips1h := window(time.Hour, perSec/4)
+
+	r := &Result{ID: "fig9", Title: "Names per IP ECDF (300 s and 1 h windows)"}
+	r.addLine("%-8s %-12s %-12s", "#names", "300s", "1h")
+	for _, k := range []float64{1, 2, 3, 5, 9, 17} {
+		r.addLine("%-8.0f %-12.4f %-12.4f", k, e300.At(k), e1h.At(k))
+	}
+	r.set("single_name_300s", e300.At(1))
+	r.set("single_name_1h", e1h.At(1))
+	r.set("ips_300s", float64(ips300))
+	r.set("ips_1h", float64(ips1h))
+	r.Headline = fmt.Sprintf("P(single name per IP): %.3f over 300 s, %.3f over 1 h (paper: ~0.88, similar at 1 h)",
+		e300.At(1), e1h.At(1))
+	return r
+}

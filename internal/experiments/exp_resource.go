@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Parameters and in-memory storage overview",
+		Paper: "Table 1",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "fig2",
+		Title: "CPU and memory usage for Main over a week",
+		Paper: "Figure 2 (a, b)",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "CPU and memory usage for all variants over a day",
+		Paper: "Figure 3 (a, b)",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Hourly correlation rate per variant",
+		Paper: "Figure 7 (Appendix A.5)",
+		Run:   runFig7,
+	})
+}
+
+func runTable1(_ float64) *Result {
+	cfg := core.DefaultConfig()
+	r := &Result{ID: "table1", Title: "Parameters and in-memory storage overview"}
+	r.addLine("%-20s %v", "AClearUpInterval", cfg.AClearUpInterval)
+	r.addLine("%-20s %v", "CClearUpInterval", cfg.CClearUpInterval)
+	r.addLine("%-20s %d", "NUM_SPLIT", cfg.NumSplit)
+	r.addLine("%-20s %d", "CNAMEChainLimit", cfg.CNAMEChainLimit)
+	r.addLine("storage: IP-NAME{Active,Inactive,Long}[n] for 0 <= n < %d", cfg.NumSplit)
+	r.addLine("storage: NAME-CNAME{Active,Inactive,Long}")
+	r.Headline = fmt.Sprintf("AClearUp=%v CClearUp=%v NUM_SPLIT=%d chainLimit=%d",
+		cfg.AClearUpInterval, cfg.CClearUpInterval, cfg.NumSplit, cfg.CNAMEChainLimit)
+	r.set("a_clear_up_seconds", cfg.AClearUpInterval.Seconds())
+	r.set("c_clear_up_seconds", cfg.CClearUpInterval.Seconds())
+	r.set("num_split", float64(cfg.NumSplit))
+	r.set("chain_limit", float64(cfg.CNAMEChainLimit))
+	return r
+}
+
+func runFig2(scale float64) *Result {
+	scale = clampScale(scale)
+	res := RunSim(SimParams{
+		Variant:      core.VariantMain,
+		Days:         7,
+		DNSPerHour:   int(3000 * scale),
+		FlowsPerHour: int(30000 * scale),
+		Seed:         2,
+	})
+	r := &Result{ID: "fig2", Title: "Main over one week: traffic volume, CPU, memory"}
+	r.addLine("%-5s %-12s %-10s %-10s %-10s", "hour", "trafficGB", "cpu%", "heapMB", "entries")
+	for _, h := range res.Hours {
+		r.addLine("%-5d %-12.4f %-10.1f %-10.1f %-10d", h.Hour, h.TrafficGB, h.CPUPct, h.HeapMB, h.Entries)
+	}
+	// Diurnal shape checks: traffic, work, and state all peak in the evening
+	// and trough at night, every day.
+	peakT, troughT := dailyPeakTrough(res.Hours, func(h HourStats) float64 { return h.TrafficGB })
+	peakE, troughE := dailyPeakTrough(res.Hours, func(h HourStats) float64 { return float64(h.Entries) })
+	r.set("traffic_peak_over_trough", ratio(peakT, troughT))
+	r.set("entries_peak_over_trough", ratio(peakE, troughE))
+	r.set("mean_corr_rate", res.Final.CorrelationRate())
+	r.set("loss_rate", res.Final.LossRate())
+	r.set("hours", float64(len(res.Hours)))
+	r.Headline = fmt.Sprintf("168 simulated hours; diurnal traffic swing x%.2f, corr=%.3f, loss=%.5f",
+		ratio(peakT, troughT), res.Final.CorrelationRate(), res.Final.LossRate())
+	return r
+}
+
+func runFig3(scale float64) *Result {
+	scale = clampScale(scale)
+	r := &Result{ID: "fig3", Title: "Variants over one day: CPU and memory"}
+	r.addLine("%-12s %-10s %-12s %-12s %-12s %-10s", "variant", "cpu%sum", "heapMB-end", "entries-end", "entries-max", "corr")
+	for _, v := range core.AllVariants() {
+		res := RunSim(SimParams{
+			Variant:      v,
+			Days:         1,
+			DNSPerHour:   int(4000 * scale),
+			FlowsPerHour: int(40000 * scale),
+			Seed:         3,
+		})
+		cpuSum, entMax := 0.0, 0
+		for _, h := range res.Hours {
+			cpuSum += h.CPUPct
+			if h.Entries > entMax {
+				entMax = h.Entries
+			}
+		}
+		last := res.Hours[len(res.Hours)-1]
+		r.addLine("%-12s %-10.1f %-12.1f %-12d %-12d %-10.3f",
+			v, cpuSum, last.HeapMB, last.Entries, entMax, res.Final.CorrelationRate())
+		key := string(v)
+		r.set(key+"_corr", res.Final.CorrelationRate())
+		r.set(key+"_entries_end", float64(last.Entries))
+		r.set(key+"_entries_max", float64(entMax))
+		r.set(key+"_cpu_sum", cpuSum)
+		r.set(key+"_heap_end", last.HeapMB)
+	}
+	r.Headline = fmt.Sprintf("NoClearUp holds %.0fx the state of Main at end of day",
+		ratio(r.Values["NoClearUp_entries_end"], r.Values["Main_entries_end"]))
+	return r
+}
+
+func runFig7(scale float64) *Result {
+	scale = clampScale(scale)
+	r := &Result{ID: "fig7", Title: "Correlation rate per hour per variant"}
+	variants := core.AllVariants()
+	series := make(map[core.Variant][]float64, len(variants))
+	for _, v := range variants {
+		res := RunSim(SimParams{
+			Variant:      v,
+			Days:         1,
+			DNSPerHour:   int(4000 * scale),
+			FlowsPerHour: int(40000 * scale),
+			Seed:         4,
+		})
+		rates := make([]float64, len(res.Hours))
+		for i, h := range res.Hours {
+			rates[i] = h.CorrRate
+		}
+		series[v] = rates
+		r.set(string(v)+"_mean_corr", res.Final.CorrelationRate())
+	}
+	header := "hour "
+	for _, v := range variants {
+		header += fmt.Sprintf("%-12s", v)
+	}
+	r.addLine("%s", header)
+	for h := 0; h < 24; h++ {
+		line := fmt.Sprintf("%-5d", h)
+		for _, v := range variants {
+			line += fmt.Sprintf("%-12.3f", series[v][h])
+		}
+		r.addLine("%s", line)
+	}
+	r.Headline = fmt.Sprintf("mean corr: Main=%.3f NoClearUp=%.3f NoLong=%.3f NoRotation=%.3f NoSplit=%.3f",
+		r.Values["Main_mean_corr"], r.Values["NoClearUp_mean_corr"], r.Values["NoLong_mean_corr"],
+		r.Values["NoRotation_mean_corr"], r.Values["NoSplit_mean_corr"])
+	return r
+}
+
+// dailyPeakTrough returns mean daily maxima and minima of the metric.
+func dailyPeakTrough(hours []HourStats, f func(HourStats) float64) (peak, trough float64) {
+	days := len(hours) / 24
+	if days == 0 {
+		return 0, 0
+	}
+	for d := 0; d < days; d++ {
+		mx, mn := f(hours[d*24]), f(hours[d*24])
+		for h := 1; h < 24; h++ {
+			v := f(hours[d*24+h])
+			if v > mx {
+				mx = v
+			}
+			if v < mn {
+				mn = v
+			}
+		}
+		peak += mx
+		trough += mn
+	}
+	return peak / float64(days), trough / float64(days)
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

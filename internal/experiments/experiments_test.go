@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Tests run the experiments at reduced scale and assert the *shapes* the
+// paper reports — who wins, in which direction, and roughly by how much —
+// not absolute numbers (our substrate is a synthetic generator, not the
+// authors' ISP feeds).
+
+const testScale = 0.12
+
+func runByID(t *testing.T, id string, scale float64) *Result {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	r := e.Run(scale)
+	if r.ID != id {
+		t.Fatalf("result ID = %q, want %q", r.ID, id)
+	}
+	if r.Headline == "" || len(r.Lines) == 0 {
+		t.Fatalf("experiment %q produced no output", id)
+	}
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "corr", "coverage", "accuracy", "exactttl"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) found something")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := runByID(t, "table1", 1)
+	if r.Values["a_clear_up_seconds"] != 3600 || r.Values["c_clear_up_seconds"] != 7200 {
+		t.Fatalf("clear-up intervals = %v/%v", r.Values["a_clear_up_seconds"], r.Values["c_clear_up_seconds"])
+	}
+	if r.Values["num_split"] != 10 || r.Values["chain_limit"] != 6 {
+		t.Fatalf("num_split/chain_limit = %v/%v", r.Values["num_split"], r.Values["chain_limit"])
+	}
+}
+
+func TestFig2DiurnalShape(t *testing.T) {
+	r := runByID(t, "fig2", testScale)
+	if r.Values["hours"] != 168 {
+		t.Fatalf("hours = %v, want 168 (a week)", r.Values["hours"])
+	}
+	// Traffic and state size must both swing diurnally (peak well above
+	// trough, every day on average).
+	if r.Values["traffic_peak_over_trough"] < 1.5 {
+		t.Fatalf("traffic diurnal swing = %v, want > 1.5", r.Values["traffic_peak_over_trough"])
+	}
+	if r.Values["entries_peak_over_trough"] < 1.2 {
+		t.Fatalf("entries diurnal swing = %v, want > 1.2", r.Values["entries_peak_over_trough"])
+	}
+	// Headline neighborhood: paper reports 81.7 % over the week.
+	if c := r.Values["mean_corr_rate"]; c < 0.70 || c > 0.92 {
+		t.Fatalf("mean corr rate = %v, want in [0.70, 0.92]", c)
+	}
+	if r.Values["loss_rate"] != 0 {
+		t.Fatalf("sync replay lost records: %v", r.Values["loss_rate"])
+	}
+}
+
+func TestFig3VariantOrdering(t *testing.T) {
+	r := runByID(t, "fig3", testScale)
+	// Memory/state shape (Fig 3b): NoClearUp grows without bound and ends
+	// far above Main; NoRotation holds the least state (no inactive copy).
+	if r.Values["NoClearUp_entries_end"] < 1.5*r.Values["Main_entries_end"] {
+		t.Fatalf("NoClearUp end state %v not >> Main %v",
+			r.Values["NoClearUp_entries_end"], r.Values["Main_entries_end"])
+	}
+	if r.Values["NoRotation_entries_max"] >= r.Values["Main_entries_max"] {
+		t.Fatalf("NoRotation peak state %v not below Main %v",
+			r.Values["NoRotation_entries_max"], r.Values["Main_entries_max"])
+	}
+	// Correlation shape (§4): NoClearUp >= Main > NoLong > NoRotation;
+	// NoSplit tracks Main exactly.
+	main, noClear := r.Values["Main_corr"], r.Values["NoClearUp_corr"]
+	noLong, noRot, noSplit := r.Values["NoLong_corr"], r.Values["NoRotation_corr"], r.Values["NoSplit_corr"]
+	if noClear < main-0.005 {
+		t.Fatalf("NoClearUp corr %v below Main %v", noClear, main)
+	}
+	if noLong > main {
+		t.Fatalf("NoLong corr %v above Main %v", noLong, main)
+	}
+	if noRot >= noLong {
+		t.Fatalf("NoRotation corr %v not the lowest (NoLong %v)", noRot, noLong)
+	}
+	if diff := noSplit - main; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("NoSplit corr %v deviates from Main %v", noSplit, main)
+	}
+}
+
+func TestFig7HourlyRates(t *testing.T) {
+	r := runByID(t, "fig7", testScale)
+	// 24 data rows plus a header.
+	if len(r.Lines) != 25 {
+		t.Fatalf("lines = %d", len(r.Lines))
+	}
+	if r.Values["NoRotation_mean_corr"] >= r.Values["Main_mean_corr"] {
+		t.Fatal("NoRotation should have the lowest correlation rate (paper Fig 7)")
+	}
+	if r.Values["NoClearUp_mean_corr"] < r.Values["Main_mean_corr"]-0.01 {
+		t.Fatal("NoClearUp should top Main's correlation rate (paper Fig 7)")
+	}
+}
+
+func TestFig4ASAttribution(t *testing.T) {
+	r := runByID(t, "fig4", testScale)
+	// S1 is served from one AS; S2 from two (Fig 4a vs 4b).
+	if r.Values["s1_as_count"] != 1 {
+		t.Fatalf("S1 AS count = %v, want 1", r.Values["s1_as_count"])
+	}
+	if r.Values["s2_as_count"] != 2 {
+		t.Fatalf("S2 AS count = %v, want 2", r.Values["s2_as_count"])
+	}
+	if r.Values["s1_top1_share"] < 0.999 {
+		t.Fatalf("S1 top-1 share = %v", r.Values["s1_top1_share"])
+	}
+	if r.Values["s2_top2_share"] < 0.999 {
+		t.Fatalf("S2 top-2 share = %v", r.Values["s2_top2_share"])
+	}
+}
+
+func TestFig5MaliciousTraffic(t *testing.T) {
+	r := runByID(t, "fig5", testScale)
+	// All five DBL categories plus mal-formatted must carry traffic.
+	for _, cat := range []string{"spam", "botnet", "abused-redirector", "malware", "phish", "mal-formatted"} {
+		if r.Values[cat+"_domains"] == 0 {
+			t.Errorf("category %s attracted no domains", cat)
+		}
+	}
+	// Spam has the most domains (paper: 512 of 612).
+	if r.Values["spam_domains"] <= r.Values["botnet_domains"] {
+		t.Fatal("spam should dominate the suspicious-domain count")
+	}
+	// Invalid names are a small share of all names (paper: 1.7 %), and
+	// underscores dominate the violations (paper: 87 %).
+	if s := r.Values["invalid_domain_share"]; s <= 0 || s > 0.06 {
+		t.Fatalf("invalid domain share = %v", s)
+	}
+	if u := r.Values["underscore_share"]; u < 0.5 {
+		t.Fatalf("underscore share = %v, want > 0.5", u)
+	}
+	// Suspicious+malformed traffic is a small but nonzero slice (paper: 0.5 %).
+	tot := r.Values["suspicious_traffic_share"] + r.Values["malformed_traffic_share"]
+	if tot <= 0 || tot > 0.08 {
+		t.Fatalf("suspicious+malformed traffic share = %v", tot)
+	}
+}
+
+func TestFig6ChainLength(t *testing.T) {
+	r := runByID(t, "fig6", testScale)
+	if p := r.Values["p_within_6"]; p < 0.985 {
+		t.Fatalf("P(len<=6) = %v, want >= 0.985 (paper: >99%%)", p)
+	}
+	if r.Values["max_len"] > 17 {
+		t.Fatalf("max chain length = %v beyond Fig 6 support", r.Values["max_len"])
+	}
+	if r.Values["p99_len"] > 6 {
+		t.Fatalf("p99 = %v, want <= 6", r.Values["p99_len"])
+	}
+}
+
+func TestFig8TTLs(t *testing.T) {
+	r := runByID(t, "fig8", testScale)
+	if p := r.Values["a_le_300"]; p < 0.6 || p > 0.8 {
+		t.Fatalf("P(A ttl<=300) = %v, want ~0.70", p)
+	}
+	if p := r.Values["a_lt_3600"]; p < 0.97 {
+		t.Fatalf("P(A ttl<3600) = %v, want ~0.99", p)
+	}
+	if p := r.Values["cname_lt_7200"]; p < 0.97 {
+		t.Fatalf("P(CNAME ttl<7200) = %v, want ~0.99", p)
+	}
+	if r.Values["aaaa_records"] == 0 {
+		t.Fatal("no AAAA records sampled")
+	}
+}
+
+func TestFig9NamesPerIP(t *testing.T) {
+	r := runByID(t, "fig9", testScale)
+	if p := r.Values["single_name_300s"]; p < 0.80 || p > 0.95 {
+		t.Fatalf("single-name share (300s) = %v, want ~0.88", p)
+	}
+	// "We also did the analysis with a 1-hour sample and observed similar
+	// results."
+	oneH := r.Values["single_name_1h"]
+	if d := r.Values["single_name_300s"] - oneH; d < -0.1 || d > 0.1 {
+		t.Fatalf("1h window diverges: 300s=%v 1h=%v", r.Values["single_name_300s"], oneH)
+	}
+}
+
+func TestCorrHeadline(t *testing.T) {
+	r := runByID(t, "corr", testScale)
+	if c := r.Values["corr_rate"]; c < 0.70 || c > 0.92 {
+		t.Fatalf("correlation rate = %v, want in [0.70, 0.92] (paper 0.817)", c)
+	}
+	if l := r.Values["loss_rate"]; l > 0.001 {
+		t.Fatalf("loss rate = %v, want ~0 (paper <= 0.0001)", l)
+	}
+	if d := r.Values["write_delay_seconds"]; d > 45 {
+		t.Fatalf("write delay = %vs, want <= 45 (paper)", d)
+	}
+	// Rotation machinery must actually be exercised: some lookups resolve
+	// from the inactive and long generations.
+	if r.Values["hit_inactive"] == 0 {
+		t.Fatal("no inactive-tier hits; rotation not exercised")
+	}
+	if r.Values["hit_long"] == 0 {
+		t.Fatal("no long-tier hits; long hashmaps not exercised")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	r := runByID(t, "coverage", testScale)
+	if c := r.Values["coverage"]; c < 0.92 || c > 0.98 {
+		t.Fatalf("coverage = %v, want ~0.95", c)
+	}
+	if r.Values["dns_flows"] < 100 {
+		t.Fatalf("too few DNS flows sampled: %v", r.Values["dns_flows"])
+	}
+}
+
+func TestAccuracyScenarios(t *testing.T) {
+	r := runByID(t, "accuracy", 1)
+	if r.Values["scenario1_accuracy"] != 1.0 {
+		t.Fatalf("scenario 1 accuracy = %v, want 1.0", r.Values["scenario1_accuracy"])
+	}
+	if r.Values["scenario2_accuracy"] != 0.5 {
+		t.Fatalf("scenario 2 accuracy = %v, want 0.5", r.Values["scenario2_accuracy"])
+	}
+}
+
+func TestExactTTLAntiBenchmark(t *testing.T) {
+	r := runByID(t, "exactttl", testScale)
+	// Direction, not magnitude: the exact-TTL design must sustain less
+	// throughput than Main (the paper's gap is catastrophic at ISP scale).
+	if r.Values["tput_ratio"] <= 1.0 {
+		t.Fatalf("ExactTTL throughput ratio = %v, want > 1 (Main faster)", r.Values["tput_ratio"])
+	}
+	if r.Values["exactttl_loss"] <= r.Values["main_loss"] {
+		t.Fatalf("ExactTTL implied loss %v not above Main %v",
+			r.Values["exactttl_loss"], r.Values["main_loss"])
+	}
+}
+
+func TestRunSimDefaults(t *testing.T) {
+	res := RunSim(SimParams{Days: 1, DNSPerHour: 200, FlowsPerHour: 2000, Seed: 1})
+	if len(res.Hours) != 24 {
+		t.Fatalf("hours = %d", len(res.Hours))
+	}
+	if res.Final.Flows == 0 || res.Final.DNSRecords == 0 {
+		t.Fatalf("empty simulation: %+v", res.Final)
+	}
+	if res.Variant != "Main" {
+		t.Fatalf("variant = %q", res.Variant)
+	}
+}

@@ -1,0 +1,215 @@
+// Package metrics provides the measurement side of the evaluation: process
+// CPU and heap sampling for the resource figures (Figs 2 and 3) and
+// ECDF/CDF helpers for the distribution figures (Figs 5, 6, 8, 9).
+//
+// The paper reports CPU as percentages of a core (2500 % ≈ 25 cores busy)
+// and memory in GB on a 128-core machine. We sample the same primitives at
+// laptop scale: getrusage(2) user+system time deltas for CPU, and
+// runtime.ReadMemStats heap numbers for memory. Absolute values differ from
+// the paper's testbed by construction; the figures compare *shapes* across
+// time and across variants.
+package metrics
+
+import (
+	"runtime"
+	"sort"
+	"syscall"
+	"time"
+)
+
+// CPUSampler measures process CPU usage (user+system) between samples.
+type CPUSampler struct {
+	lastCPU  time.Duration
+	lastWall time.Time
+}
+
+// NewCPUSampler primes the sampler at the current instant.
+func NewCPUSampler() *CPUSampler {
+	s := &CPUSampler{}
+	s.lastCPU = processCPU()
+	s.lastWall = time.Now()
+	return s
+}
+
+// Sample returns the CPU utilization since the previous sample, in percent
+// of one core (100 = one core fully busy), and resets the window.
+func (s *CPUSampler) Sample() float64 {
+	nowCPU := processCPU()
+	nowWall := time.Now()
+	dCPU := nowCPU - s.lastCPU
+	dWall := nowWall.Sub(s.lastWall)
+	s.lastCPU, s.lastWall = nowCPU, nowWall
+	if dWall <= 0 {
+		return 0
+	}
+	return 100 * float64(dCPU) / float64(dWall)
+}
+
+// processCPU returns total user+system CPU time consumed by the process.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// HeapMB returns the live heap size in MiB.
+func HeapMB() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is an append-only time series with summary helpers.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Time, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Min returns the smallest sample value (0 for an empty series).
+func (s *Series) Min() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].V
+	for _, p := range s.Points[1:] {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample value (0 for an empty series).
+func (s *Series) Max() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].V
+	for _, p := range s.Points[1:] {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Last returns the final sample value (0 for an empty series).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// ECDF is an empirical cumulative distribution over float64 samples.
+type ECDF struct {
+	sorted bool
+	xs     []float64
+}
+
+// NewECDF returns an empty distribution.
+func NewECDF() *ECDF { return &ECDF{} }
+
+// Add inserts a sample.
+func (e *ECDF) Add(x float64) {
+	e.xs = append(e.xs, x)
+	e.sorted = false
+}
+
+// AddN inserts x with multiplicity n (used for weighted counts).
+func (e *ECDF) AddN(x float64, n int) {
+	for i := 0; i < n; i++ {
+		e.xs = append(e.xs, x)
+	}
+	e.sorted = false
+}
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.xs) }
+
+func (e *ECDF) ensureSorted() {
+	if !e.sorted {
+		sort.Float64s(e.xs)
+		e.sorted = true
+	}
+}
+
+// At returns P(X <= x), 0 for an empty distribution.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	e.ensureSorted()
+	// First index with xs[i] > x.
+	i := sort.SearchFloat64s(e.xs, x)
+	for i < len(e.xs) && e.xs[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by the nearest-rank method.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	e.ensureSorted()
+	if q <= 0 {
+		return e.xs[0]
+	}
+	if q >= 1 {
+		return e.xs[len(e.xs)-1]
+	}
+	idx := int(q*float64(len(e.xs))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.xs[idx]
+}
+
+// Steps returns (x, P(X<=x)) pairs at the distinct sample values — the
+// plottable ECDF curve.
+func (e *ECDF) Steps() []Point2 {
+	if len(e.xs) == 0 {
+		return nil
+	}
+	e.ensureSorted()
+	var out []Point2
+	n := float64(len(e.xs))
+	for i := 0; i < len(e.xs); i++ {
+		if i+1 == len(e.xs) || e.xs[i+1] != e.xs[i] {
+			out = append(out, Point2{X: e.xs[i], Y: float64(i+1) / n})
+		}
+	}
+	return out
+}
+
+// Point2 is an (x, y) pair of a plottable curve.
+type Point2 struct {
+	X, Y float64
+}

@@ -1,0 +1,400 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestV5RoundTrip(t *testing.T) {
+	h := V5Header{
+		SysUptimeMs:  123456,
+		UnixSecs:     1653475200, // 2022-05-25, the paper's measurement week
+		UnixNsecs:    500,
+		FlowSequence: 42,
+		EngineID:     7,
+	}
+	recs := []V5Record{
+		{
+			SrcAddr: [4]byte{198, 51, 100, 7}, DstAddr: [4]byte{203, 0, 113, 9},
+			Packets: 100, Octets: 150000, SrcPort: 443, DstPort: 51234,
+			Proto: ProtoTCP, TCPFlags: 0x18, SrcAS: 64500, DstAS: 64501,
+			FirstMs: 1000, LastMs: 2000, InputIf: 3, OutputIf: 4,
+			SrcMask: 24, DstMask: 22, TOS: 0x10,
+			NextHop: [4]byte{192, 0, 2, 1},
+		},
+		{
+			SrcAddr: [4]byte{192, 0, 2, 200}, DstAddr: [4]byte{198, 51, 100, 1},
+			Packets: 1, Octets: 64, SrcPort: 53, DstPort: 4444, Proto: ProtoUDP,
+		},
+	}
+	pkt, err := EncodeV5(h, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) != 24+2*48 {
+		t.Fatalf("packet len = %d", len(pkt))
+	}
+	gh, got, err := DecodeV5(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh.UnixSecs != h.UnixSecs || gh.FlowSequence != 42 || gh.EngineID != 7 || gh.Count != 2 {
+		t.Fatalf("header = %+v", gh)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestV5Errors(t *testing.T) {
+	if _, _, err := DecodeV5(make([]byte, 10)); err != ErrV5Short {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, 24)
+	bad[1] = 9
+	if _, _, err := DecodeV5(bad); err != ErrV5Version {
+		t.Errorf("version: %v", err)
+	}
+	pkt, err := EncodeV5(V5Header{}, []V5Record{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeV5(pkt[:len(pkt)-1]); err == nil {
+		t.Error("count/length mismatch accepted")
+	}
+	if _, err := EncodeV5(V5Header{}, make([]V5Record, 31)); err != ErrV5RecordCount {
+		t.Errorf("31 records: %v", err)
+	}
+	tooMany, _ := EncodeV5(V5Header{}, nil)
+	tooMany[3] = 31
+	if _, _, err := DecodeV5(tooMany); err != ErrV5TooMany {
+		t.Errorf("decode 31 count: %v", err)
+	}
+}
+
+func TestV5FlowRecordConversion(t *testing.T) {
+	fr := FlowRecord{
+		Timestamp: time.Unix(1653475200, 0),
+		SrcIP:     netip.MustParseAddr("198.51.100.7"),
+		DstIP:     netip.MustParseAddr("203.0.113.9"),
+		SrcPort:   443, DstPort: 50000, Proto: ProtoTCP,
+		Packets: 10, Bytes: 14000,
+	}
+	v5, err := FromFlowRecord(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := v5.ToFlowRecord(V5Header{UnixSecs: 1653475200})
+	if back.SrcIP != fr.SrcIP || back.DstIP != fr.DstIP || back.Bytes != fr.Bytes ||
+		back.SrcPort != fr.SrcPort || back.Proto != fr.Proto {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if !back.IsValid() {
+		t.Fatal("converted record invalid")
+	}
+	// IPv6 cannot ride v5.
+	fr.SrcIP = netip.MustParseAddr("2001:db8::1")
+	if _, err := FromFlowRecord(fr); err != ErrV5IPv6 {
+		t.Fatalf("IPv6: %v", err)
+	}
+	// Counter saturation.
+	fr2 := FlowRecord{SrcIP: netip.MustParseAddr("1.2.3.4"), DstIP: netip.MustParseAddr("5.6.7.8"),
+		Bytes: 1 << 40, Packets: 1 << 40}
+	v52, _ := FromFlowRecord(fr2)
+	if v52.Octets != 0xFFFFFFFF || v52.Packets != 0xFFFFFFFF {
+		t.Fatalf("saturation: %+v", v52)
+	}
+}
+
+func TestFlowRecordIsValid(t *testing.T) {
+	valid := FlowRecord{
+		Timestamp: time.Now(),
+		SrcIP:     netip.MustParseAddr("1.2.3.4"),
+		DstIP:     netip.MustParseAddr("5.6.7.8"),
+	}
+	if !valid.IsValid() {
+		t.Error("valid record rejected")
+	}
+	for _, broken := range []FlowRecord{
+		{},
+		{Timestamp: time.Now(), SrcIP: netip.MustParseAddr("1.2.3.4")},
+		{SrcIP: netip.MustParseAddr("1.2.3.4"), DstIP: netip.MustParseAddr("5.6.7.8")},
+	} {
+		if broken.IsValid() {
+			t.Errorf("invalid record accepted: %+v", broken)
+		}
+	}
+}
+
+func TestV9RoundTrip(t *testing.T) {
+	cache := NewTemplateCache()
+	ts := time.UnixMilli(1653475200123)
+	records := []FlowRecord{
+		{
+			Timestamp: ts,
+			SrcIP:     netip.MustParseAddr("198.51.100.7"),
+			DstIP:     netip.MustParseAddr("203.0.113.9"),
+			SrcPort:   443, DstPort: 51234, Proto: ProtoTCP,
+			Packets: 99, Bytes: 123456,
+		},
+		{
+			Timestamp: ts.Add(time.Second),
+			SrcIP:     netip.MustParseAddr("192.0.2.1"),
+			DstIP:     netip.MustParseAddr("198.51.100.99"),
+			SrcPort:   53, DstPort: 40000, Proto: ProtoUDP,
+			Packets: 1, Bytes: 80,
+		},
+	}
+	pkt, err := EncodeV9(V9Header{UnixSecs: 1653475200, SourceID: 11}, StandardTemplate(), records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeV9(pkt, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Templates) != 1 || got.Templates[0].ID != 256 {
+		t.Fatalf("templates = %+v", got.Templates)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("records = %d", len(got.Records))
+	}
+	for i, want := range records {
+		g := got.Records[i]
+		if g.SrcIP != want.SrcIP || g.DstIP != want.DstIP || g.Bytes != want.Bytes ||
+			g.Packets != want.Packets || g.SrcPort != want.SrcPort ||
+			g.DstPort != want.DstPort || g.Proto != want.Proto ||
+			!g.Timestamp.Equal(want.Timestamp) {
+			t.Fatalf("record %d: got %+v want %+v", i, g, want)
+		}
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache len = %d", cache.Len())
+	}
+}
+
+func TestV9RoundTripIPv6(t *testing.T) {
+	cache := NewTemplateCache()
+	rec := FlowRecord{
+		Timestamp: time.UnixMilli(1653475200000),
+		SrcIP:     netip.MustParseAddr("2001:db8::7"),
+		DstIP:     netip.MustParseAddr("2001:db8:1::9"),
+		SrcPort:   443, DstPort: 50000, Proto: ProtoTCP, Packets: 5, Bytes: 7000,
+	}
+	pkt, err := EncodeV9(V9Header{SourceID: 2}, StandardTemplateV6(), []FlowRecord{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeV9(pkt, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 1 || got.Records[0].SrcIP != rec.SrcIP || got.Records[0].DstIP != rec.DstIP {
+		t.Fatalf("v6 records = %+v", got.Records)
+	}
+}
+
+func TestV9TemplateCacheAcrossPackets(t *testing.T) {
+	cache := NewTemplateCache()
+	tmpl := StandardTemplate()
+	// First packet announces the template with no data.
+	p1, err := EncodeV9(V9Header{SourceID: 5}, tmpl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeV9(p1, cache); err != nil {
+		t.Fatal(err)
+	}
+	// Second packet: hand-build data-only packet for template 256.
+	rec := FlowRecord{
+		Timestamp: time.UnixMilli(1000000),
+		SrcIP:     netip.MustParseAddr("10.0.0.1"),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		Packets:   1, Bytes: 100,
+	}
+	full, err := EncodeV9(V9Header{SourceID: 5}, tmpl, []FlowRecord{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the template FlowSet (header is 20 bytes; template set length
+	// is at bytes 22-23).
+	tmplSetLen := int(full[23]) | int(full[22])<<8
+	dataOnly := append(append([]byte{}, full[:20]...), full[20+tmplSetLen:]...)
+	got, err := DecodeV9(dataOnly, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 1 || got.Records[0].SrcIP != rec.SrcIP {
+		t.Fatalf("cached-template decode = %+v", got.Records)
+	}
+	// A different SourceID must NOT see the template.
+	dataOnly[19] = 6 // SourceID 5 -> 6
+	got2, err := DecodeV9(dataOnly, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.UnknownDataSets != 1 || len(got2.Records) != 0 {
+		t.Fatalf("template leaked across source IDs: %+v", got2)
+	}
+}
+
+func TestV9UnknownTemplateCounted(t *testing.T) {
+	rec := FlowRecord{Timestamp: time.UnixMilli(1), SrcIP: netip.MustParseAddr("10.0.0.1"),
+		DstIP: netip.MustParseAddr("10.0.0.2")}
+	full, err := EncodeV9(V9Header{SourceID: 9}, StandardTemplate(), []FlowRecord{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmplSetLen := int(full[23]) | int(full[22])<<8
+	dataOnly := append(append([]byte{}, full[:20]...), full[20+tmplSetLen:]...)
+	got, err := DecodeV9(dataOnly, NewTemplateCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UnknownDataSets != 1 {
+		t.Fatalf("UnknownDataSets = %d", got.UnknownDataSets)
+	}
+}
+
+func TestV9Errors(t *testing.T) {
+	if _, err := DecodeV9(make([]byte, 4), nil); err != ErrV9Short {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, 20)
+	bad[1] = 5
+	if _, err := DecodeV9(bad, nil); err != ErrV9Version {
+		t.Errorf("version: %v", err)
+	}
+	// FlowSet declaring more bytes than the packet holds.
+	pkt := make([]byte, 24)
+	pkt[1] = 9
+	pkt[22] = 0xFF // set length huge
+	pkt[23] = 0xFF
+	if _, err := DecodeV9(pkt, nil); err != ErrV9SetShort {
+		t.Errorf("set short: %v", err)
+	}
+	// FlowSet with length below 4.
+	pkt2 := make([]byte, 24)
+	pkt2[1] = 9
+	pkt2[23] = 2
+	if _, err := DecodeV9(pkt2, nil); err != ErrV9SetLength {
+		t.Errorf("set len: %v", err)
+	}
+}
+
+func TestV9DataPadding(t *testing.T) {
+	// One record under the standard template is 37 bytes, so the data set
+	// is padded to a 4-byte boundary; decoding must ignore the padding.
+	rec := FlowRecord{
+		Timestamp: time.UnixMilli(99999),
+		SrcIP:     netip.MustParseAddr("10.1.1.1"),
+		DstIP:     netip.MustParseAddr("10.1.1.2"),
+		Proto:     ProtoTCP, Packets: 3, Bytes: 300,
+	}
+	pkt, err := EncodeV9(V9Header{SourceID: 1}, StandardTemplate(), []FlowRecord{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt)%4 != 0 {
+		t.Fatalf("packet not 4-byte aligned: %d", len(pkt))
+	}
+	got, err := DecodeV9(pkt, NewTemplateCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 1 {
+		t.Fatalf("records = %d (padding mis-decoded)", len(got.Records))
+	}
+}
+
+func TestBeUint(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want uint64
+	}{
+		{[]byte{0x01}, 1},
+		{[]byte{0x01, 0x00}, 256},
+		{[]byte{0xFF, 0xFF, 0xFF, 0xFF}, 0xFFFFFFFF},
+		{[]byte{0, 0, 0, 0, 0, 0, 0, 1}, 1},
+		{[]byte{9, 0, 0, 0, 0, 0, 0, 0, 1}, 1}, // >8 bytes: low 8 win
+	}
+	for _, c := range cases {
+		if got := beUint(c.in); got != c.want {
+			t.Errorf("beUint(%x) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: v5 encode/decode is the identity for arbitrary record contents.
+func TestQuickV5RoundTrip(t *testing.T) {
+	f := func(src, dst [4]byte, pkts, octets uint32, sp, dp uint16, proto uint8) bool {
+		recs := []V5Record{{SrcAddr: src, DstAddr: dst, Packets: pkts, Octets: octets,
+			SrcPort: sp, DstPort: dp, Proto: proto}}
+		pkt, err := EncodeV5(V5Header{UnixSecs: 1}, recs)
+		if err != nil {
+			return false
+		}
+		_, got, err := DecodeV5(pkt)
+		return err == nil && len(got) == 1 && got[0] == recs[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the v9 decoder never panics on arbitrary input.
+func TestQuickV9DecodeNeverPanics(t *testing.T) {
+	cache := NewTemplateCache()
+	f := func(data []byte) bool {
+		_, _ = DecodeV9(data, cache)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecodeV5(b *testing.B) {
+	recs := make([]V5Record, 30)
+	for i := range recs {
+		recs[i] = V5Record{SrcAddr: [4]byte{10, 0, byte(i), 1}, DstAddr: [4]byte{10, 1, byte(i), 2},
+			Packets: 10, Octets: 1000, Proto: ProtoTCP}
+	}
+	pkt, err := EncodeV5(V5Header{UnixSecs: 1}, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeV5(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeV9(b *testing.B) {
+	recs := make([]FlowRecord, 20)
+	for i := range recs {
+		recs[i] = FlowRecord{
+			Timestamp: time.UnixMilli(int64(1000000 + i)),
+			SrcIP:     netip.AddrFrom4([4]byte{10, 0, byte(i), 1}),
+			DstIP:     netip.AddrFrom4([4]byte{10, 1, byte(i), 2}),
+			Packets:   10, Bytes: 1000, Proto: ProtoTCP,
+		}
+	}
+	pkt, err := EncodeV9(V9Header{SourceID: 3}, StandardTemplate(), recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := NewTemplateCache()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeV9(pkt, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package pcaplite
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+var tsBase = time.Unix(1653475200, 0)
+
+func TestBrowseProducesDNSAndData(t *testing.T) {
+	var tr Trace
+	client := netip.MustParseAddr("10.0.0.5")
+	err := tr.Browse(tsBase, Website{
+		Domain: "site-a.example", Addr: netip.MustParseAddr("198.51.100.1"),
+		DataPackets: 5, BytesPerPacket: 1000,
+	}, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 6 {
+		t.Fatalf("packets = %d", len(tr.Packets))
+	}
+	recs, err := tr.DNSRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Query != "site-a.example" || recs[0].Answer != "198.51.100.1" {
+		t.Fatalf("dns records = %+v", recs)
+	}
+	if recs[0].RType != dnswire.TypeA {
+		t.Fatalf("rtype = %v", recs[0].RType)
+	}
+	flows := tr.FlowRecords()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if flows[0].Packets != 5 || flows[0].Bytes != 5000 {
+		t.Fatalf("flow agg = %+v", flows[0])
+	}
+	if flows[0].SrcIP != netip.MustParseAddr("198.51.100.1") {
+		t.Fatalf("flow src = %v", flows[0].SrcIP)
+	}
+}
+
+func TestBrowseIPv6(t *testing.T) {
+	var tr Trace
+	err := tr.Browse(tsBase, Website{
+		Domain: "v6.example", Addr: netip.MustParseAddr("2001:db8::10"),
+	}, netip.MustParseAddr("10.0.0.6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := tr.DNSRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].RType != dnswire.TypeAAAA || recs[0].Answer != "2001:db8::10" {
+		t.Fatalf("v6 record = %+v", recs[0])
+	}
+}
+
+func TestTwoWebsitesDistinctFlows(t *testing.T) {
+	var tr Trace
+	client := netip.MustParseAddr("10.0.0.7")
+	tr.Browse(tsBase, Website{Domain: "a.example", Addr: netip.MustParseAddr("198.51.100.1")}, client)
+	tr.Browse(tsBase.Add(time.Second), Website{Domain: "b.example", Addr: netip.MustParseAddr("198.51.100.2")}, client)
+	flows := tr.FlowRecords()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if tr.Truth(netip.MustParseAddr("198.51.100.1")) != "a.example" {
+		t.Fatal("truth lookup broken")
+	}
+	if tr.Truth(netip.MustParseAddr("198.51.100.9")) != "" {
+		t.Fatal("unknown truth should be empty")
+	}
+}
+
+func TestSharedIPSecondOverwrites(t *testing.T) {
+	// The paper's scenario (2): both sites share one IP; the trace carries
+	// two DNS answers for the same address.
+	var tr Trace
+	client := netip.MustParseAddr("10.0.0.8")
+	shared := netip.MustParseAddr("198.51.100.50")
+	tr.Browse(tsBase, Website{Domain: "first.example", Addr: shared}, client)
+	tr.Browse(tsBase.Add(time.Second), Website{Domain: "second.example", Addr: shared}, client)
+	recs, err := tr.DNSRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("dns records = %d", len(recs))
+	}
+	if recs[0].Answer != recs[1].Answer {
+		t.Fatal("shared IP not shared")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	var tr Trace
+	err := tr.Browse(tsBase, Website{Domain: "d.example", Addr: netip.MustParseAddr("192.0.2.1")},
+		netip.MustParseAddr("10.0.0.9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := tr.FlowRecords()
+	if flows[0].Packets != 10 || flows[0].Bytes != 14000 {
+		t.Fatalf("defaults = %+v", flows[0])
+	}
+}

@@ -1,0 +1,203 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfferTake(t *testing.T) {
+	q := New[int](4)
+	if !q.Offer(1) || !q.Offer(2) {
+		t.Fatal("Offer failed with space available")
+	}
+	v, ok := q.Take()
+	if !ok || v != 1 {
+		t.Fatalf("Take = %d,%v; want 1,true", v, ok)
+	}
+	v, ok = q.Take()
+	if !ok || v != 2 {
+		t.Fatalf("Take = %d,%v; want 2,true", v, ok)
+	}
+}
+
+func TestOfferDropsWhenFull(t *testing.T) {
+	q := New[int](2)
+	q.Offer(1)
+	q.Offer(2)
+	if q.Offer(3) {
+		t.Fatal("Offer succeeded on a full queue")
+	}
+	st := q.Stats()
+	if st.Enqueued != 2 || st.Dropped != 1 {
+		t.Fatalf("Stats = %+v; want Enqueued 2, Dropped 1", st)
+	}
+	if got := st.LossRate(); got != 1.0/3.0 {
+		t.Fatalf("LossRate = %v, want 1/3", got)
+	}
+}
+
+func TestTryTakeEmpty(t *testing.T) {
+	q := New[string](1)
+	if _, ok := q.TryTake(); ok {
+		t.Fatal("TryTake on empty queue returned ok")
+	}
+	q.Offer("x")
+	v, ok := q.TryTake()
+	if !ok || v != "x" {
+		t.Fatalf("TryTake = %q,%v", v, ok)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		q.Offer(i)
+	}
+	q.Close()
+	q.Close() // idempotent
+	for i := 0; i < 5; i++ {
+		v, ok := q.Take()
+		if !ok || v != i {
+			t.Fatalf("drain %d: got %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Take(); ok {
+		t.Fatal("Take after drain returned ok")
+	}
+	if st := q.Stats(); st.Dequeued != 5 {
+		t.Fatalf("Dequeued = %d, want 5", st.Dequeued)
+	}
+}
+
+func TestOfferAfterCloseCountsDrop(t *testing.T) {
+	q := New[int](1)
+	q.Offer(1) // fill so the closed-channel send branch is not taken
+	q.Close()
+	if q.Offer(2) {
+		t.Fatal("Offer after close on full queue accepted")
+	}
+	if st := q.Stats(); st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestPutBlocksUntilSpace(t *testing.T) {
+	q := New[int](1)
+	q.Put(1)
+	done := make(chan struct{})
+	go func() {
+		q.Put(2) // blocks until Take below
+		close(done)
+	}()
+	if v, _ := q.Take(); v != 1 {
+		t.Fatal("unexpected head")
+	}
+	<-done
+	if v, _ := q.Take(); v != 2 {
+		t.Fatal("blocked Put value lost")
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	q := New[int](0)
+	if q.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", q.Cap())
+	}
+}
+
+func TestFill(t *testing.T) {
+	q := New[int](4)
+	if q.Fill() != 0 {
+		t.Fatalf("empty Fill = %v", q.Fill())
+	}
+	q.Offer(1)
+	q.Offer(2)
+	if q.Fill() != 0.5 {
+		t.Fatalf("Fill = %v, want 0.5", q.Fill())
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int](128)
+	const producers, perProducer, consumers = 8, 1000, 4
+	var produced, consumed sync.WaitGroup
+	var got atomic64
+	consumed.Add(consumers)
+	for c := 0; c < consumers; c++ {
+		go func() {
+			defer consumed.Done()
+			for {
+				if _, ok := q.Take(); !ok {
+					return
+				}
+				got.add(1)
+			}
+		}()
+	}
+	produced.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func() {
+			defer produced.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Put(i)
+			}
+		}()
+	}
+	produced.Wait()
+	q.Close()
+	consumed.Wait()
+	st := q.Stats()
+	if st.Enqueued != producers*perProducer {
+		t.Fatalf("Enqueued = %d, want %d", st.Enqueued, producers*perProducer)
+	}
+	if got.load() != producers*perProducer || st.Dequeued != producers*perProducer {
+		t.Fatalf("consumed %d (stats %d), want %d", got.load(), st.Dequeued, producers*perProducer)
+	}
+}
+
+// Property: counters always satisfy Offered == Enqueued + Dropped and
+// Dequeued <= Enqueued, for arbitrary offer/take interleavings.
+func TestQuickCounterInvariants(t *testing.T) {
+	f := func(ops []bool, capacity uint8) bool {
+		q := New[int]((int(capacity) % 8) + 1)
+		for i, offer := range ops {
+			if offer {
+				q.Offer(i)
+			} else {
+				q.TryTake()
+			}
+		}
+		st := q.Stats()
+		if st.Offered() != st.Enqueued+st.Dropped {
+			return false
+		}
+		if st.Dequeued > st.Enqueued {
+			return false
+		}
+		return int(st.Enqueued-st.Dequeued) == q.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// small atomic helper keeping the test dependency-free
+type atomic64 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic64) add(d int) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+func BenchmarkOfferTake(b *testing.B) {
+	q := New[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if q.Offer(1) {
+				q.TryTake()
+			}
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package resolvers
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestWellKnownMembers(t *testing.T) {
+	s := NewSet()
+	for _, a := range []string{"1.1.1.1", "8.8.8.8", "9.9.9.9", "2620:fe::fe"} {
+		if !s.Contains(netip.MustParseAddr(a)) {
+			t.Errorf("%s missing from well-known set", a)
+		}
+	}
+	if s.Contains(netip.MustParseAddr("192.0.2.1")) {
+		t.Error("non-resolver address matched")
+	}
+	if s.Len() == 0 {
+		t.Fatal("empty well-known set")
+	}
+}
+
+func TestAddAndAddrs(t *testing.T) {
+	s := EmptySet()
+	if s.Len() != 0 {
+		t.Fatal("EmptySet not empty")
+	}
+	a := netip.MustParseAddr("203.0.113.53")
+	s.Add(a)
+	if !s.Contains(a) || s.Len() != 1 {
+		t.Fatal("Add broken")
+	}
+	addrs := s.Addrs()
+	if len(addrs) != 1 || addrs[0] != a {
+		t.Fatalf("Addrs = %v", addrs)
+	}
+}

@@ -1,0 +1,100 @@
+// Package stream provides the live-stream plumbing between the network and
+// the FlowDNS correlator.
+//
+// The paper's deployment receives DNS cache misses "from the ISP resolvers
+// to our collectors via TCP" and NetFlow exports on UDP, each stream with
+// "an internal buffer to be used in case the reading speed is less than
+// their actual rate. If that buffer overflows, the streams start to drop
+// data." This package reproduces that contract:
+//
+//   - DNSRecord is the flattened record the FillUp stage consumes
+//     (timestamp, query, rtype, ttl, answer);
+//   - DNSTCPSource / DNSTCPSink speak length-prefixed DNS messages over TCP
+//     (RFC 1035 §4.2.2 framing) and flatten responses into DNSRecords;
+//   - FlowUDPSource / FlowUDPSink speak NetFlow v5/v9 datagrams;
+//   - every source drains into a bounded queue.Queue whose drop counters
+//     are the paper's "loss on the streams".
+package stream
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// DNSRecord is one flattened DNS answer as FlowDNS consumes it. Per §2 the
+// DNS stream carries "timestamp,..., [name; rtype; ttl; answer]": for an
+// A/AAAA record Answer is the address's string form and Query the domain
+// that was asked; for a CNAME record Answer is the canonical name. In every
+// FlowDNS hashmap "the key is the answer section, and the value is the
+// query".
+type DNSRecord struct {
+	Timestamp time.Time
+	Query     string
+	RType     dnswire.Type
+	TTL       uint32
+	Answer    string
+}
+
+// IsValid implements the paper's §3.2 step (2) filter: only well-formed
+// responses of the types FlowDNS stores pass.
+func (r *DNSRecord) IsValid() bool {
+	if r.Timestamp.IsZero() || r.Query == "" || r.Answer == "" {
+		return false
+	}
+	switch r.RType {
+	case dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeCNAME:
+		return true
+	default:
+		return false
+	}
+}
+
+// FlattenResponse converts a decoded DNS response message into the
+// DNSRecords FlowDNS stores. Non-response messages and non-NOERROR rcodes
+// yield nothing; answer records of types other than A/AAAA/CNAME are
+// skipped. ts is the stream-assigned receive timestamp.
+//
+// CNAME flattening note: in a DNS message a CNAME answer has Name = the
+// alias that was queried and Target = the canonical name. FlowDNS's
+// NAME-CNAME map is keyed by answer (canonical name) with the query (alias)
+// as value, so lookups can walk CDN names back toward the service name.
+func FlattenResponse(m *dnswire.Message, ts time.Time) []DNSRecord {
+	if m == nil || !m.Header.Response || m.Header.RCode != dnswire.RCodeNoError {
+		return nil
+	}
+	out := make([]DNSRecord, 0, len(m.Answers))
+	for i := range m.Answers {
+		a := &m.Answers[i]
+		switch a.Type {
+		case dnswire.TypeA, dnswire.TypeAAAA:
+			if !a.Addr.IsValid() {
+				continue
+			}
+			out = append(out, DNSRecord{
+				Timestamp: ts,
+				Query:     a.Name,
+				RType:     a.Type,
+				TTL:       a.TTL,
+				Answer:    a.Addr.String(),
+			})
+		case dnswire.TypeCNAME:
+			if a.Target == "" {
+				continue
+			}
+			out = append(out, DNSRecord{
+				Timestamp: ts,
+				Query:     a.Name,
+				RType:     a.Type,
+				TTL:       a.TTL,
+				Answer:    a.Target,
+			})
+		}
+	}
+	return out
+}
+
+// AddrKey normalizes an address to the canonical map-key form used across
+// the correlator (netip's canonical string).
+func AddrKey(a netip.Addr) string { return a.String() }

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// ttlDist is a discrete TTL mixture. Weights need not sum to 1; sampling is
+// proportional.
+type ttlDist struct {
+	ttls    []uint32
+	weights []float64
+	cum     []float64
+}
+
+func newTTLDist(ttls []uint32, weights []float64) *ttlDist {
+	d := &ttlDist{ttls: ttls, weights: weights, cum: make([]float64, len(weights))}
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		d.cum[i] = sum
+	}
+	for i := range d.cum {
+		d.cum[i] /= sum
+	}
+	return d
+}
+
+func (d *ttlDist) sample(r *rand.Rand) uint32 {
+	u := r.Float64()
+	for i, c := range d.cum {
+		if u <= c {
+			return d.ttls[i]
+		}
+	}
+	return d.ttls[len(d.ttls)-1]
+}
+
+// aTTLDist matches Figure 8 for A/AAAA records: ~70 % of records have
+// TTL <= 300 s and 99 % are below 3600 s.
+func aTTLDist() *ttlDist {
+	return newTTLDist(
+		[]uint32{20, 60, 300, 600, 1800, 3599, 7200, 86400},
+		[]float64{0.08, 0.20, 0.42, 0.12, 0.10, 0.07, 0.006, 0.004},
+	)
+}
+
+// cnameTTLDist matches Figure 8 for CNAME records: 99 % below 7200 s with a
+// longer body than A records.
+func cnameTTLDist() *ttlDist {
+	return newTTLDist(
+		[]uint32{60, 300, 900, 3600, 7199, 14400, 86400},
+		[]float64{0.10, 0.28, 0.17, 0.30, 0.14, 0.006, 0.004},
+	)
+}
+
+// chainLenDist matches Figure 6: most chains resolve within 2 hops, >99 %
+// within 6, with a thin tail out to 17.
+var chainLenWeights = []struct {
+	length int
+	weight float64
+}{
+	{1, 0.38}, {2, 0.40}, {3, 0.13}, {4, 0.045}, {5, 0.015}, {6, 0.006},
+	{7, 0.002}, {9, 0.001}, {12, 0.0006}, {17, 0.0004},
+}
+
+func sampleChainLen(r *rand.Rand) int {
+	total := 0.0
+	for _, cw := range chainLenWeights {
+		total += cw.weight
+	}
+	u := r.Float64() * total
+	for _, cw := range chainLenWeights {
+		if u <= cw.weight {
+			return cw.length
+		}
+		u -= cw.weight
+	}
+	return chainLenWeights[len(chainLenWeights)-1].length
+}
+
+// diurnal control points: normalized traffic multiplier by local hour,
+// reproducing the paper's Figure 2 shape — night trough around 04:00, climb
+// through the day, evening peak around 21:00.
+var diurnalPoints = [...]struct {
+	hour float64
+	mult float64
+}{
+	{0, 0.78}, {2, 0.62}, {4, 0.52}, {6, 0.55}, {9, 0.70}, {12, 0.78},
+	{15, 0.84}, {18, 0.93}, {21, 1.00}, {23, 0.88}, {24, 0.78},
+}
+
+// DiurnalMultiplier returns the traffic-volume multiplier in (0,1] for a
+// time-of-day expressed in fractional hours [0,24).
+func DiurnalMultiplier(hour float64) float64 {
+	for hour < 0 {
+		hour += 24
+	}
+	for hour >= 24 {
+		hour -= 24
+	}
+	for i := 1; i < len(diurnalPoints); i++ {
+		a, b := diurnalPoints[i-1], diurnalPoints[i]
+		if hour <= b.hour {
+			f := (hour - a.hour) / (b.hour - a.hour)
+			return a.mult + f*(b.mult-a.mult)
+		}
+	}
+	return diurnalPoints[len(diurnalPoints)-1].mult
+}
+
+// sampleFlowBytes draws a per-flow byte count: a heavy-tailed mixture of
+// mice (small web objects) and elephants (video segments), scaled by the
+// service's size factor.
+func sampleFlowBytes(r *rand.Rand, scale float64) uint64 {
+	var base float64
+	switch {
+	case r.Float64() < 0.70:
+		base = 400 + r.ExpFloat64()*2000 // mice
+	case r.Float64() < 0.85:
+		base = 20e3 + r.ExpFloat64()*80e3 // mid
+	default:
+		base = 200e3 + r.ExpFloat64()*1.2e6 // elephants
+	}
+	b := base * scale
+	if b < 64 {
+		b = 64
+	}
+	if b > 1e9 {
+		b = 1e9
+	}
+	return uint64(b)
+}

@@ -1,0 +1,499 @@
+// Package workload synthesizes the ISP's two live streams — DNS cache
+// misses and NetFlow exports — with the statistical shape the paper
+// measures on real traffic.
+//
+// The real deployment consumes proprietary feeds (75K DNS rec/s, 1M flow
+// rec/s at the large ISP). This generator substitutes a parameterized
+// universe of services whose observable distributions reproduce the
+// paper's appendix measurements:
+//
+//   - CNAME chain lengths per Figure 6 (>99 % within 6 hops, tail to 17);
+//   - TTL distributions per Figure 8 (99 % of A/AAAA < 3600 s, CNAME < 7200 s);
+//   - names-per-IP per Figure 9 (~88 % of IPs map to a single name);
+//   - Zipf service popularity and a diurnal volume curve per Figure 2;
+//   - a 95 % DNS coverage model (1/20 client resolutions go to public
+//     resolvers and are invisible to the ISP feed, §4 Coverage);
+//   - a malicious/malformed domain population per §5 (DBL categories,
+//     underscore-dominated malformed names).
+//
+// Correlation-rate mechanics: a flow is attributable only if its source IP
+// was announced on the visible DNS stream recently. Services resolved via
+// public resolvers use a disjoint edge-IP pool, so that traffic can never
+// correlate — exactly the paper's coverage gap — and a configurable
+// fraction of traffic is not DNS-related at all.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/dbl"
+)
+
+// Config parameterizes the universe. Zero fields take defaults from
+// DefaultConfig.
+type Config struct {
+	Seed int64
+
+	// NumServices is the size of the service population (domain universe).
+	NumServices int
+	// NumCDNs is the number of CDN providers; each owns a /16 and an ASN.
+	NumCDNs int
+	// CDNShare is the fraction of services hosted on CDNs (the paper
+	// observes >85 % of traffic originating from CDNs).
+	CDNShare float64
+	// EdgeIPsPerService is the mean number of edge IPs a service resolves
+	// to (the paper: 35 % of names map to >1 IP).
+	EdgeIPsPerService int
+	// SharedIPFraction is the fraction of CDN edge IPs intentionally shared
+	// between services (Fig 9: ~12 % of IPs carry more than one name).
+	SharedIPFraction float64
+
+	// ZipfS, ZipfV shape service popularity (s > 1).
+	ZipfS float64
+	ZipfV float64
+
+	// PublicResolverFraction is the share of client resolutions using
+	// public resolvers (paper: 1/20 = 0.05).
+	PublicResolverFraction float64
+	// NonDNSTrafficFraction is the share of traffic bytes not preceded by
+	// any DNS resolution (paper: with 95 % coverage and 81.7 % correlation,
+	// roughly 14 % of traffic is not DNS-related).
+	NonDNSTrafficFraction float64
+	// DNSPortTrafficFraction is the share of flow records that are client
+	// DNS/DoT lookups themselves (ports 53/853), feeding the coverage
+	// analysis.
+	DNSPortTrafficFraction float64
+
+	// SuspiciousServices counts DBL-listed domains in the population,
+	// split across categories in the paper's 512/41/34/11/3 proportions.
+	SuspiciousServices int
+	// MalformedServices counts RFC 1035-violating domains (87 % of them
+	// with underscores, per §5).
+	MalformedServices int
+
+	// V6Share is the fraction of services that are dual-stack and also
+	// announce AAAA records (exercising the IPv6 path end to end).
+	V6Share float64
+
+	// RecentWindow caps the generator's recently-announced-edge buffer:
+	// flows follow DNS resolutions, so flow sources are drawn from this
+	// window (plus a stale tail), which is what makes rotation and
+	// long-hashmap hits observable.
+	RecentWindow int
+	// MaxFlowLag bounds how old an announcement may be for a flow to
+	// source from it — the client-side gap between resolving a name and
+	// the traffic it generates (resolver caching included).
+	MaxFlowLag time.Duration
+	// StaleFlowFraction is the share of service flows drawn from the whole
+	// service population instead of the recent window — long-lived
+	// connections and resolver-cache hits older than our window.
+	StaleFlowFraction float64
+	// ChurnRate is the per-query-event probability that a CDN rotates one
+	// of the service's edge IPs to a fresh address. Churn is what makes the
+	// NoClearUp variant's state grow without bound (paper Fig 3b).
+	ChurnRate float64
+}
+
+// DefaultConfig returns a laptop-scale universe that keeps every
+// distribution the paper reports.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   1,
+		NumServices:            4000,
+		NumCDNs:                8,
+		CDNShare:               0.85,
+		EdgeIPsPerService:      3,
+		SharedIPFraction:       0.45,
+		ZipfS:                  1.2,
+		ZipfV:                  4,
+		PublicResolverFraction: 0.05,
+		NonDNSTrafficFraction:  0.20,
+		DNSPortTrafficFraction: 0.02,
+		SuspiciousServices:     60,
+		MalformedServices:      66,
+		V6Share:                0.25,
+		RecentWindow:           65536,
+		MaxFlowLag:             30 * time.Minute,
+		StaleFlowFraction:      0.05,
+		ChurnRate:              0.25,
+	}
+}
+
+func (c Config) normalized() Config {
+	d := DefaultConfig()
+	if c.NumServices <= 0 {
+		c.NumServices = d.NumServices
+	}
+	if c.NumCDNs <= 0 {
+		c.NumCDNs = d.NumCDNs
+	}
+	if c.CDNShare <= 0 {
+		c.CDNShare = d.CDNShare
+	}
+	if c.EdgeIPsPerService <= 0 {
+		c.EdgeIPsPerService = d.EdgeIPsPerService
+	}
+	if c.SharedIPFraction <= 0 {
+		c.SharedIPFraction = d.SharedIPFraction
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = d.ZipfS
+	}
+	if c.ZipfV < 1 {
+		c.ZipfV = d.ZipfV
+	}
+	if c.PublicResolverFraction < 0 {
+		c.PublicResolverFraction = d.PublicResolverFraction
+	}
+	if c.NonDNSTrafficFraction < 0 {
+		c.NonDNSTrafficFraction = d.NonDNSTrafficFraction
+	}
+	if c.DNSPortTrafficFraction < 0 {
+		c.DNSPortTrafficFraction = d.DNSPortTrafficFraction
+	}
+	if c.V6Share < 0 || c.V6Share > 1 {
+		c.V6Share = d.V6Share
+	}
+	if c.RecentWindow <= 0 {
+		c.RecentWindow = d.RecentWindow
+	}
+	if c.MaxFlowLag <= 0 {
+		c.MaxFlowLag = d.MaxFlowLag
+	}
+	if c.StaleFlowFraction < 0 || c.StaleFlowFraction > 1 {
+		c.StaleFlowFraction = d.StaleFlowFraction
+	}
+	if c.ChurnRate < 0 || c.ChurnRate > 1 {
+		c.ChurnRate = d.ChurnRate
+	}
+	return c
+}
+
+// Service is one domain in the universe.
+type Service struct {
+	// Name is the client-facing domain (what the user "intends").
+	Name string
+	// Chain is the CNAME alias chain, Name -> Chain[0] -> ... -> edge owner
+	// name; empty for directly hosted services.
+	Chain []string
+	// ISPAddrs are edge IPs returned by the ISP resolvers (visible to
+	// FlowDNS); PubAddrs are the disjoint edge IPs returned by public
+	// resolvers (invisible).
+	ISPAddrs []netip.Addr
+	PubAddrs []netip.Addr
+	// CDN is the hosting CDN index, -1 for direct hosting.
+	CDN int
+	// SizeFactor scales per-flow bytes (streaming >> web).
+	SizeFactor float64
+	// Category tags DBL-listed domains; Malformed marks RFC 1035 violators.
+	Category  dbl.Category
+	Malformed bool
+	// Pinned services keep their address plan fixed (no churn); used by the
+	// Fig 4 setup so AS attribution stays stable over the week.
+	Pinned bool
+}
+
+// EdgeName returns the owner name of the service's A records: the end of
+// the CNAME chain, or the service name itself when directly hosted.
+func (s *Service) EdgeName() string {
+	if len(s.Chain) == 0 {
+		return s.Name
+	}
+	return s.Chain[len(s.Chain)-1]
+}
+
+// Universe is the immutable service population plus its address plan.
+type Universe struct {
+	cfg      Config
+	Services []*Service
+	// CDNASNs[i] is the origin ASN of CDN i.
+	CDNASNs []uint32
+	// DirectASN is the origin AS for directly hosted services.
+	DirectASN uint32
+	// blocklist over the suspicious services.
+	Blocklist *dbl.List
+	// assignments for the BGP table.
+	assignments []bgp.Assignment
+
+	// address allocators (persist beyond construction so edge churn can
+	// mint fresh addresses from the same prefixes).
+	nextHost   []uint32
+	directHost uint32
+	v6Host     uint32
+}
+
+// asn numbering: CDNs get 64500+, direct hosting 64499.
+const (
+	directASN  = 64499
+	cdnASNBase = 64500
+)
+
+// NewUniverse builds the deterministic service population for cfg.
+func NewUniverse(cfg Config) *Universe {
+	cfg = cfg.normalized()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	u := &Universe{
+		cfg:       cfg,
+		CDNASNs:   make([]uint32, cfg.NumCDNs),
+		DirectASN: directASN,
+		Blocklist: dbl.NewList(),
+	}
+
+	// Address plan: CDN i owns 100.64+i.0.0/16 (ISP-visible edges) and
+	// 100.96+i.0.0/16 (public-resolver edges). Direct services share
+	// 198.18.0.0/16 (+ public 198.19.0.0/16).
+	for i := 0; i < cfg.NumCDNs; i++ {
+		u.CDNASNs[i] = uint32(cdnASNBase + i)
+		u.assignments = append(u.assignments,
+			bgp.Assignment{Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{100, byte(64 + i), 0, 0}), 16), ASN: u.CDNASNs[i]},
+			bgp.Assignment{Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{100, byte(96 + i), 0, 0}), 16), ASN: u.CDNASNs[i]},
+		)
+	}
+	u.assignments = append(u.assignments,
+		bgp.Assignment{Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{198, 18, 0, 0}), 15), ASN: directASN},
+		// Non-DNS traffic pool (P2P/direct-IP); gives it a home AS so the
+		// Fig 4 attribution covers all traffic.
+		bgp.Assignment{Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 16, 0, 0}), 12), ASN: 64511})
+	// IPv6 plan: CDN i owns 2001:db8:1:<i>::/64 visible and
+	// 2001:db8:2:<i>::/64 public; direct v6 lives in 2001:db8:0:12::/64.
+	for i := 0; i < cfg.NumCDNs; i++ {
+		u.assignments = append(u.assignments,
+			bgp.Assignment{Prefix: netip.PrefixFrom(v6Base(1, byte(i), 0), 64), ASN: u.CDNASNs[i]},
+			bgp.Assignment{Prefix: netip.PrefixFrom(v6Base(2, byte(i), 0), 64), ASN: u.CDNASNs[i]},
+		)
+	}
+	u.assignments = append(u.assignments,
+		bgp.Assignment{Prefix: netip.PrefixFrom(v6Base(0, 0x12, 0), 64), ASN: directASN})
+
+	// Per-CDN shared-IP pools implementing the Fig 9 names-per-IP shape.
+	sharedPools := make([][]netip.Addr, cfg.NumCDNs)
+	u.nextHost = make([]uint32, cfg.NumCDNs)
+
+	nSuspicious := cfg.SuspiciousServices
+	nMalformed := cfg.MalformedServices
+	for i := 0; i < cfg.NumServices; i++ {
+		svc := &Service{CDN: -1, SizeFactor: 0.5 + r.ExpFloat64()}
+		switch {
+		case i < nSuspicious:
+			svc.Category = suspiciousCategory(i, nSuspicious)
+			svc.Name = fmt.Sprintf("%s-track%03d.badsite%d.xyz", svc.Category, i, i%7)
+			u.Blocklist.Add(svc.Name, svc.Category)
+			svc.SizeFactor = 0.2 + 0.3*r.ExpFloat64() // mostly small transfers
+		case i < nSuspicious+nMalformed:
+			svc.Malformed = true
+			svc.Name = malformedName(r, i)
+			svc.SizeFactor = 0.2 + 0.3*r.ExpFloat64()
+		default:
+			svc.Name = fmt.Sprintf("svc%04d.provider%d.example", i, i%97)
+		}
+
+		if r.Float64() < cfg.CDNShare {
+			cdn := r.Intn(cfg.NumCDNs)
+			svc.CDN = cdn
+			hops := sampleChainLen(r)
+			svc.Chain = make([]string, hops)
+			for h := 0; h < hops-1; h++ {
+				svc.Chain[h] = fmt.Sprintf("l%d.c%04d.cdn%d-lb.net", h, i, cdn)
+			}
+			svc.Chain[hops-1] = fmt.Sprintf("edge.c%04d.cdn%d.net", i, cdn)
+
+			nIPs := 1 + r.Intn(2*cfg.EdgeIPsPerService-1)
+			for k := 0; k < nIPs; k++ {
+				// Reuse recent shared-pool addresses with the configured
+				// probability: recency matters, because both tenants of an
+				// address must be queried inside a measurement window for
+				// the IP to count as multi-name (Fig 9).
+				if pool := sharedPools[cdn]; r.Float64() < cfg.SharedIPFraction && len(pool) > 0 {
+					lo := 0
+					if len(pool) > 64 {
+						lo = len(pool) - 64
+					}
+					svc.ISPAddrs = append(svc.ISPAddrs, pool[lo+r.Intn(len(pool)-lo)])
+				} else {
+					a := u.newCDNAddr(cdn, false)
+					svc.ISPAddrs = append(svc.ISPAddrs, a)
+					if r.Float64() < 0.5 {
+						sharedPools[cdn] = append(sharedPools[cdn], a)
+					}
+				}
+				svc.PubAddrs = append(svc.PubAddrs, u.newCDNAddr(cdn, true))
+			}
+		} else {
+			nIPs := 1 + r.Intn(cfg.EdgeIPsPerService)
+			for k := 0; k < nIPs; k++ {
+				svc.ISPAddrs = append(svc.ISPAddrs, u.newDirectAddr(false))
+				svc.PubAddrs = append(svc.PubAddrs, u.newDirectAddr(true))
+			}
+		}
+		if r.Float64() < cfg.V6Share {
+			svc.ISPAddrs = append(svc.ISPAddrs, u.newV6Addr(svc, false))
+			svc.PubAddrs = append(svc.PubAddrs, u.newV6Addr(svc, true))
+		}
+		u.Services = append(u.Services, svc)
+	}
+	return u
+}
+
+// newCDNAddr mints the next edge address in CDN cdn's visible (or public)
+// /16. Host numbering wraps at 65536, which is harmless: CDNs reuse
+// addresses over time (the paper cites exactly this reuse as why DNS
+// records go stale).
+func (u *Universe) newCDNAddr(cdn int, public bool) netip.Addr {
+	u.nextHost[cdn]++
+	h := u.nextHost[cdn]
+	second := byte(64 + cdn)
+	if public {
+		second = byte(96 + cdn)
+	}
+	return netip.AddrFrom4([4]byte{100, second, byte(h >> 8), byte(h)})
+}
+
+func (u *Universe) newDirectAddr(public bool) netip.Addr {
+	u.directHost++
+	third := byte(18)
+	if public {
+		third = 19
+	}
+	return netip.AddrFrom4([4]byte{198, third, byte(u.directHost >> 8), byte(u.directHost)})
+}
+
+func (u *Universe) newV6Addr(svc *Service, public bool) netip.Addr {
+	u.v6Host++
+	group := byte(1)
+	sub := byte(0x12)
+	if svc.CDN >= 0 {
+		sub = byte(svc.CDN)
+		if public {
+			group = 2
+		}
+	} else {
+		group = 0
+	}
+	return v6Base(group, sub, u.v6Host)
+}
+
+// RotateEdgeIP makes the hosting CDN remap one of svc's visible edges to a
+// fresh address, modeling the IP/name churn the paper observes in
+// CDN-hosted domains. Pinned services never churn. idx selects which slot
+// rotates; pass a negative idx to rotate slot 0.
+func (u *Universe) RotateEdgeIP(svc *Service, idx int) {
+	if svc.Pinned || len(svc.ISPAddrs) == 0 {
+		return
+	}
+	if idx < 0 || idx >= len(svc.ISPAddrs) {
+		idx = 0
+	}
+	old := svc.ISPAddrs[idx]
+	switch {
+	case old.Is6():
+		svc.ISPAddrs[idx] = u.newV6Addr(svc, false)
+	case svc.CDN >= 0:
+		svc.ISPAddrs[idx] = u.newCDNAddr(svc.CDN, false)
+	default:
+		svc.ISPAddrs[idx] = u.newDirectAddr(false)
+	}
+}
+
+// suspiciousCategory splits indexes across categories in the paper's
+// 512:41:34:11:3 proportions, guaranteeing every category at least one
+// domain even in small universes.
+func suspiciousCategory(i, total int) dbl.Category {
+	alloc := func(weight int) int {
+		n := total * weight / 601
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	// Rarest categories are allocated from the end so rounding error lands
+	// on spam, the paper's dominant category.
+	nPhish := alloc(3)
+	nMalware := alloc(11)
+	nRedir := alloc(34)
+	nBotnet := alloc(41)
+	switch {
+	case i >= total-nPhish:
+		return dbl.Phish
+	case i >= total-nPhish-nMalware:
+		return dbl.Malware
+	case i >= total-nPhish-nMalware-nRedir:
+		return dbl.AbusedRedirector
+	case i >= total-nPhish-nMalware-nRedir-nBotnet:
+		return dbl.Botnet
+	default:
+		return dbl.Spam
+	}
+}
+
+// malformedName builds an RFC 1035-violating name; 87 % carry underscores
+// (the paper's dominant violation), the rest split across bad starts, bad
+// ends, and oversized labels.
+func malformedName(r *rand.Rand, i int) string {
+	switch v := r.Float64(); {
+	case v < 0.87:
+		// Interior underscore: the paper's dominant violation class.
+		return fmt.Sprintf("svc%03d_collector.telemetry%d.example", i, i%11)
+	case v < 0.92:
+		return fmt.Sprintf("-lead%03d.tracker.example", i)
+	case v < 0.97:
+		return fmt.Sprintf("tail%03d-.tracker.example", i)
+	default:
+		long := make([]byte, 70)
+		for j := range long {
+			long[j] = byte('a' + (i+j)%26)
+		}
+		return fmt.Sprintf("%s.big%03d.example", long, i)
+	}
+}
+
+// v6Base builds 2001:db8:<group>:<sub>::<host> used by the IPv6 address
+// plan.
+func v6Base(group, sub byte, host uint32) netip.Addr {
+	var b [16]byte
+	b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x0d, 0xb8
+	b[5] = group
+	b[7] = sub
+	b[12] = byte(host >> 24)
+	b[13] = byte(host >> 16)
+	b[14] = byte(host >> 8)
+	b[15] = byte(host)
+	return netip.AddrFrom16(b)
+}
+
+// BGPTable builds the routing table covering the universe's address plan.
+func (u *Universe) BGPTable() (*bgp.Table, error) { return bgp.Build(u.assignments) }
+
+// Assignments exposes the prefix→AS plan (for tests and docs).
+func (u *Universe) Assignments() []bgp.Assignment { return u.assignments }
+
+// Config returns the normalized config the universe was built with.
+func (u *Universe) Config() Config { return u.cfg }
+
+// PinServiceToCDNs rebuilds service i's hosting across the given CDNs,
+// giving it fresh dedicated edge IPs on each — used to set up the Fig 4
+// streaming services (S1 on one CDN/AS, S2 across two).
+func (u *Universe) PinServiceToCDNs(i int, cdns []int, ipsPerCDN int) {
+	svc := u.Services[i]
+	svc.ISPAddrs = svc.ISPAddrs[:0]
+	svc.PubAddrs = svc.PubAddrs[:0]
+	svc.CDN = cdns[0]
+	svc.Pinned = true
+	if len(svc.Chain) == 0 {
+		svc.Chain = []string{fmt.Sprintf("edge.pinned%d.cdn%d.net", i, cdns[0])}
+	}
+	for k, cdn := range cdns {
+		for j := 0; j < ipsPerCDN; j++ {
+			// Hosts 0xF000+ are reserved for pinned services, avoiding
+			// collision with generated hosts.
+			h := 0xF000 + i*16 + k*4 + j
+			svc.ISPAddrs = append(svc.ISPAddrs,
+				netip.AddrFrom4([4]byte{100, byte(64 + cdn), byte(h >> 8), byte(h)}))
+			svc.PubAddrs = append(svc.PubAddrs,
+				netip.AddrFrom4([4]byte{100, byte(96 + cdn), byte(h >> 8), byte(h)}))
+		}
+	}
+}
