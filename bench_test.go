@@ -12,9 +12,20 @@
 package repro
 
 import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/dnswire"
 	"repro/internal/experiments"
+	"repro/internal/netflow"
+	"repro/internal/stream"
 )
 
 // benchScale balances fidelity and wall time; heavyweight multi-day
@@ -47,7 +58,192 @@ func runExperiment(b *testing.B, id string, scale float64, metrics []string) {
 	b.Logf("%s: %s", id, r.Headline)
 }
 
-// BenchmarkTable1Config regenerates Table 1 (parameters and storage names).
+// --- batched-vs-per-record sink write path (API v2 redesign) ---
+//
+// The v1 Sink wrote one record per call behind a mutex with fmt.Fprintf;
+// the v2 Write workers hand the sink size/time-bounded batches that
+// amortize one lock acquisition and one buffered write per batch.
+// BenchmarkSinkWrite/per-record-v1 replicates the old cost model;
+// /batch=1 isolates the interface change; /batch=64 and /batch=256 are
+// the deployed path. Run with:
+//
+//	go test -bench=BenchmarkSinkWrite -benchmem .
+
+// legacyTSVSink replicates the v1 per-record write path for comparison.
+type legacyTSVSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func (s *legacyTSVSink) write(cf core.CorrelatedFlow) {
+	name := cf.Name
+	if name == "" {
+		name = "NULL"
+	}
+	s.mu.Lock()
+	fmt.Fprintf(s.w, "%d\t%s\t%s\t%d\t%d\t%s\t%s\t%d\n",
+		cf.Flow.Timestamp.Unix(), cf.Flow.SrcIP, cf.Flow.DstIP,
+		cf.Flow.Bytes, cf.Flow.Packets, name, cf.Tier, cf.ChainLen)
+	s.mu.Unlock()
+}
+
+func benchDNSRecord(ts time.Time, i int) stream.DNSRecord {
+	return stream.DNSRecord{
+		Timestamp: ts,
+		Query:     fmt.Sprintf("svc%d.example", i),
+		RType:     dnswire.TypeA,
+		TTL:       300,
+		Answer:    netip.AddrFrom4([4]byte{198, 51, byte(i / 250), byte(i%250 + 1)}).String(),
+	}
+}
+
+func benchCorrelatedFlows(n int) []core.CorrelatedFlow {
+	t0 := time.Unix(1653475200, 0)
+	out := make([]core.CorrelatedFlow, n)
+	for i := range out {
+		out[i] = core.CorrelatedFlow{
+			Flow: netflow.FlowRecord{
+				Timestamp: t0,
+				SrcIP:     netip.AddrFrom4([4]byte{198, 51, byte(i / 250), byte(i%250 + 1)}),
+				DstIP:     netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+				SrcPort:   443, DstPort: 50000, Proto: netflow.ProtoTCP,
+				Packets: 10, Bytes: 1500,
+			},
+			Name: fmt.Sprintf("svc%d.example", i%512),
+			Tier: core.TierActive,
+		}
+	}
+	return out
+}
+
+func BenchmarkSinkWrite(b *testing.B) {
+	const n = 4096
+	flows := benchCorrelatedFlows(n)
+	ctx := context.Background()
+
+	b.Run("per-record-v1", func(b *testing.B) {
+		s := &legacyTSVSink{w: bufio.NewWriterSize(io.Discard, 1<<16)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.write(flows[i%n])
+		}
+	})
+	for _, size := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			sink := core.NewTSVSink(io.Discard)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				end := i%n + size
+				if end > n {
+					end = n
+				}
+				if err := sink.WriteBatch(ctx, flows[i%n:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Under write-worker contention the lock amortization dominates.
+	b.Run("parallel/per-record-v1", func(b *testing.B) {
+		s := &legacyTSVSink{w: bufio.NewWriterSize(io.Discard, 1<<16)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				s.write(flows[i%n])
+				i++
+			}
+		})
+	})
+	b.Run("parallel/batch=256", func(b *testing.B) {
+		sink := core.NewTSVSink(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			batch := make([]core.CorrelatedFlow, 0, 256)
+			for pb.Next() {
+				batch = append(batch, flows[i%n])
+				i++
+				if len(batch) == 256 {
+					if err := sink.WriteBatch(ctx, batch); err != nil {
+						b.Fatal(err)
+					}
+					batch = batch[:0]
+				}
+			}
+			if len(batch) > 0 {
+				sink.WriteBatch(ctx, batch)
+			}
+		})
+	})
+}
+
+// BenchmarkPipelineBatchedWrites measures the full async pipeline with the
+// v2 batched write path: offered records per second from ingest façade to
+// sink across all stages.
+func BenchmarkPipelineBatchedWrites(b *testing.B) {
+	const services = 512
+	t0 := time.Unix(1653475200, 0)
+	flows := make([]netflow.FlowRecord, 4096)
+	for i := range flows {
+		flows[i] = netflow.FlowRecord{
+			Timestamp: t0,
+			SrcIP:     netip.AddrFrom4([4]byte{198, 51, byte((i % services) / 250), byte((i%services)%250 + 1)}),
+			DstIP:     netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+			SrcPort:   443, DstPort: 50000, Proto: netflow.ProtoTCP,
+			Packets: 10, Bytes: 1500,
+		}
+	}
+	for _, batch := range []int{1, 256} {
+		b.Run(fmt.Sprintf("writeBatch=%d", batch), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.WriteBatchSize = batch
+			cfg.WriteFlushInterval = time.Millisecond
+			c := core.New(cfg, core.WithSink(core.NewTSVSink(io.Discard)))
+			ctx, cancel := context.WithCancel(context.Background())
+			runDone := make(chan error, 1)
+			go func() { runDone <- c.Run(ctx) }()
+			for i := 0; i < services; i++ {
+				c.OfferDNS(benchDNSRecord(t0, i))
+			}
+			for c.Stats().DNSRecords < services {
+				time.Sleep(time.Millisecond)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Offer with backpressure (never drop) and time until the sink
+			// has written everything, so the measurement is true
+			// ingest-to-sink throughput, not queue-offer cost.
+			var offered uint64
+			for i := 0; i < b.N; i += 512 {
+				for {
+					_, look, write := c.QueueDepths()
+					if look < cfg.LookQueueCap/2 && write < cfg.WriteQueueCap/2 {
+						break
+					}
+					time.Sleep(10 * time.Microsecond)
+				}
+				offered += uint64(c.OfferFlowBatch(flows[:512]))
+			}
+			for c.Stats().Written < offered {
+				// A drop between the queues would make Written permanently
+				// short of offered; fail instead of hanging.
+				if st := c.Stats(); st.LookQueue.Dropped+st.WriteQueue.Dropped > 0 {
+					b.Fatalf("benchmark dropped records (look=%d write=%d); backpressure broken",
+						st.LookQueue.Dropped, st.WriteQueue.Dropped)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			b.StopTimer()
+			cancel()
+			<-runDone
+		})
+	}
+}
 func BenchmarkTable1Config(b *testing.B) {
 	runExperiment(b, "table1", benchScaleLight,
 		[]string{"a_clear_up_seconds", "c_clear_up_seconds", "num_split", "chain_limit"})

@@ -2,28 +2,33 @@
 //
 // It listens for DNS response streams on TCP (length-prefixed DNS messages,
 // RFC 1035 §4.2.2 framing — the transport the paper's ISP resolvers use to
-// reach the collectors) and for NetFlow v5/v9 exports on UDP, correlates
-// them in real time, and writes tab-separated correlated flows to a file or
-// stdout.
+// reach the collectors) and for NetFlow v5/v9/IPFIX exports on UDP,
+// correlates them in real time, and writes batched correlated flows to the
+// configured sink (TSV or JSONL, file or stdout).
 //
 // Example, mirroring the paper's large-ISP topology (2 DNS streams, many
 // NetFlow streams, all fanned into one correlator):
 //
 //	flowdns -dns-listen :5353 -netflow-listen :2055 -out correlated.tsv
 //
-// Stats are printed once per -stats-interval: correlation rate, loss on
-// every stage queue, store sizes, write delay.
+// SIGINT/SIGTERM cancels the run context; the pipeline stops intake,
+// drains every stage through the sink, and exits. Stats are logged once
+// per -stats-interval: correlation rate, loss on every stage queue, store
+// sizes, write delay.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
@@ -39,10 +44,13 @@ func main() {
 		dnsListen     = flag.String("dns-listen", ":5353", "comma-separated TCP listen addresses for DNS streams")
 		netflowListen = flag.String("netflow-listen", ":2055", "comma-separated UDP listen addresses for NetFlow/IPFIX streams")
 		out           = flag.String("out", "-", "output file for correlated flows ('-' = stdout)")
+		sinkName      = flag.String("sink", "tsv", "output sink: "+strings.Join(core.SinkNames(), ", "))
 		variant       = flag.String("variant", "Main", "benchmark variant: Main, NoSplit, NoClearUp, NoRotation, NoLong, ExactTTL")
 		fillWorkers   = flag.Int("fillup-workers", 4, "FillUp workers")
 		lookWorkers   = flag.Int("lookup-workers", 8, "LookUp workers")
 		writeWorkers  = flag.Int("write-workers", 2, "Write workers")
+		batchSize     = flag.Int("batch-size", core.DefaultWriteBatchSize, "correlated flows per sink WriteBatch call")
+		flushEvery    = flag.Duration("flush-interval", core.DefaultWriteFlushInterval, "max wait for a write batch to fill")
 		statsInterval = flag.Duration("stats-interval", 30*time.Second, "stats reporting interval")
 		skipMisses    = flag.Bool("skip-misses", false, "do not write rows for uncorrelated flows")
 	)
@@ -57,121 +65,157 @@ func main() {
 		return
 	}
 
-	var cfg core.Config
-	if *configPath != "" {
-		file, err := config.Load(*configPath)
-		if err != nil {
-			log.Fatalf("flowdns: %v", err)
-		}
-		cfg, err = file.CoreConfig()
-		if err != nil {
-			log.Fatalf("flowdns: %v", err)
-		}
-		var dnsAddrs, flowAddrs []string
-		for _, s := range file.DNSStreams {
-			dnsAddrs = append(dnsAddrs, s.Listen)
-		}
-		for _, s := range file.FlowStreams {
-			flowAddrs = append(flowAddrs, s.Listen)
-		}
-		*dnsListen = strings.Join(dnsAddrs, ",")
-		*netflowListen = strings.Join(flowAddrs, ",")
-		if file.Output.Path != "" {
-			*out = file.Output.Path
-		}
-		*skipMisses = file.Output.SkipMisses
-	} else {
-		cfg = core.ConfigForVariant(core.Variant(*variant))
-		cfg.FillUpWorkers = *fillWorkers
-		cfg.LookUpWorkers = *lookWorkers
-		cfg.WriteWorkers = *writeWorkers
+	cfg, outputs := loadConfig(*configPath, configFlags{
+		variant: *variant, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
+		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery,
+		dnsListen: dnsListen, netflowListen: netflowListen,
+		out: *out, sink: *sinkName, skipMisses: *skipMisses,
+	})
+
+	sink, closeFiles, err := buildSink(outputs)
+	if err != nil {
+		log.Fatalf("flowdns: %v", err)
 	}
+	defer closeFiles()
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatalf("flowdns: %v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-	sink := core.NewTSVSink(w)
-	sink.SkipMisses = *skipMisses
-	defer sink.Flush()
-
-	c := core.New(cfg, sink)
-	c.Start()
-
-	var wg sync.WaitGroup
-	var closers []func()
-
-	// DNS TCP listeners: every accepted connection is one DNS stream.
+	// Wire sources: every DNS listen address accepts any number of stream
+	// connections; every NetFlow address is one collector socket.
+	var sources []stream.Source
 	for _, addr := range splitAddrs(*dnsListen) {
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			log.Fatalf("flowdns: dns listen %s: %v", addr, err)
 		}
-		closers = append(closers, func() { ln.Close() })
 		log.Printf("flowdns: DNS stream listener on %s", ln.Addr())
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				conn, err := ln.Accept()
-				if err != nil {
-					return
-				}
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					src := stream.NewDNSTCPSource(conn, c.DNSQueue())
-					if err := src.Run(); err != nil {
-						log.Printf("flowdns: dns stream: %v", err)
-					}
-				}()
-			}
-		}()
+		sources = append(sources, stream.NewDNSListener(ln))
 	}
-
-	// NetFlow UDP listeners.
 	for _, addr := range splitAddrs(*netflowListen) {
 		pc, err := net.ListenPacket("udp", addr)
 		if err != nil {
 			log.Fatalf("flowdns: netflow listen %s: %v", addr, err)
 		}
-		closers = append(closers, func() { pc.Close() })
 		log.Printf("flowdns: NetFlow listener on %s", pc.LocalAddr())
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			src := stream.NewFlowUDPSource(pc, c.FlowQueue())
-			if err := src.Run(); err != nil {
-				log.Printf("flowdns: netflow stream: %v", err)
-			}
-		}()
+		sources = append(sources, stream.NewFlowUDPSource(pc))
 	}
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(*statsInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			logStats(c)
-		case sig := <-stop:
-			log.Printf("flowdns: %v — draining", sig)
-			for _, cl := range closers {
-				cl()
-			}
-			wg.Wait()
-			c.Stop()
-			sink.Flush()
-			logStats(c)
-			return
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c := core.New(cfg,
+		core.WithSink(sink),
+		core.WithSources(sources...),
+		core.WithMetrics(*statsInterval, logStats),
+	)
+	log.Printf("flowdns: running (variant=%s, sink=%s, batch=%d)", *variant, *sinkName, cfg.WriteBatchSize)
+	if err := c.Run(ctx); err != nil {
+		log.Fatalf("flowdns: %v", err)
+	}
+	log.Printf("flowdns: drained cleanly")
+}
+
+// configFlags carries the flag values that a -config file overrides.
+type configFlags struct {
+	variant                  string
+	fillWorkers, lookWorkers int
+	writeWorkers, batchSize  int
+	flushEvery               time.Duration
+	dnsListen, netflowListen *string
+	out, sink                string
+	skipMisses               bool
+}
+
+// loadConfig resolves the correlator config and output list from the
+// config file when given, from flags otherwise.
+func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig) {
+	if path == "" {
+		cfg := core.ConfigForVariant(core.Variant(f.variant))
+		cfg.FillUpWorkers = f.fillWorkers
+		cfg.LookUpWorkers = f.lookWorkers
+		cfg.WriteWorkers = f.writeWorkers
+		cfg.WriteBatchSize = f.batchSize
+		cfg.WriteFlushInterval = f.flushEvery
+		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses}}
+	}
+	file, err := config.Load(path)
+	if err != nil {
+		log.Fatalf("flowdns: %v", err)
+	}
+	cfg, err := file.CoreConfig()
+	if err != nil {
+		log.Fatalf("flowdns: %v", err)
+	}
+	var dnsAddrs, flowAddrs []string
+	for _, s := range file.DNSStreams {
+		dnsAddrs = append(dnsAddrs, s.Listen)
+	}
+	for _, s := range file.FlowStreams {
+		flowAddrs = append(flowAddrs, s.Listen)
+	}
+	*f.dnsListen = strings.Join(dnsAddrs, ",")
+	*f.netflowListen = strings.Join(flowAddrs, ",")
+	outputs := file.AllOutputs()
+	// As in v1, a config file that names no output path falls back to the
+	// -out flag rather than silently switching to stdout.
+	if outputs[0].Path == "" && outputs[0].NeedsWriter() {
+		outputs[0].Path = f.out
+	}
+	return cfg, outputs
+}
+
+// buildSink constructs the configured sink(s); several outputs fan out
+// through a MultiSink. The returned cleanup closes any opened files after
+// the pipeline has flushed.
+func buildSink(outputs []config.OutputConfig) (core.Sink, func(), error) {
+	var files []*os.File
+	closeFiles := func() {
+		for _, f := range files {
+			f.Close()
 		}
 	}
+	var sinks []core.Sink
+	stdoutOutputs := 0
+	seenPaths := make(map[string]bool)
+	for _, o := range outputs {
+		var w io.Writer
+		switch {
+		case !o.NeedsWriter():
+			// counting/discard ignore the writer; do not create (and
+			// truncate) a file nothing will ever write to.
+		case o.Path != "" && o.Path != "-":
+			// Two sinks on one file would truncate each other and
+			// interleave independent write buffers mid-line.
+			if seenPaths[o.Path] {
+				closeFiles()
+				return nil, nil, fmt.Errorf("output path %q used by more than one sink", o.Path)
+			}
+			seenPaths[o.Path] = true
+			f, err := os.Create(o.Path)
+			if err != nil {
+				closeFiles()
+				return nil, nil, err
+			}
+			files = append(files, f)
+			w = f
+		default:
+			// Two record-writing sinks sharing stdout would interleave
+			// their independent write buffers mid-line.
+			if stdoutOutputs++; stdoutOutputs > 1 {
+				closeFiles()
+				return nil, nil, errors.New("at most one output may write to stdout")
+			}
+			w = os.Stdout
+		}
+		s, err := o.NewSink(w)
+		if err != nil {
+			closeFiles()
+			return nil, nil, err
+		}
+		sinks = append(sinks, s)
+	}
+	if len(sinks) == 1 {
+		return sinks[0], closeFiles, nil
+	}
+	return core.MultiSink(sinks), closeFiles, nil
 }
 
 func splitAddrs(s string) []string {
@@ -184,8 +228,7 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-func logStats(c *core.Correlator) {
-	st := c.Stats()
+func logStats(st core.Stats) {
 	log.Printf("flowdns: dns=%d flows=%d corr=%.3f(bytes) loss=%.5f ipname=%d namecname=%d writeDelay=%v",
 		st.DNSRecords, st.Flows, st.CorrelationRate(), st.LossRate(),
 		st.IPNameEntries, st.NameCnameEntries, time.Duration(st.MaxWriteDelayNs).Round(time.Millisecond))

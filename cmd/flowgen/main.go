@@ -14,10 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
 	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/dnswire"
@@ -60,12 +64,23 @@ func main() {
 	defer nfConn.Close()
 	nfSink := stream.NewFlowUDPSink(nfConn, 1, 20)
 
+	// SIGINT/SIGTERM ends the emission early but cleanly (final flush).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	log.Printf("flowgen: emitting %d dns/s + %d flows/s for %v", *dnsRate, *flowRate, *duration)
 	start := time.Now()
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
 	var sentDNS, sentFlows int
-	for now := range ticker.C {
+emit:
+	for {
+		var now time.Time
+		select {
+		case <-ctx.Done():
+			break emit
+		case now = <-ticker.C:
+		}
 		if now.Sub(start) > *duration {
 			break
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,8 +39,10 @@ func main() {
 		flowPath = flag.String("flows", "flows.tsv", "flow capture path (input, or output with -gen)")
 		dnsOut   = flag.String("dns-out", "", "alias for -dns when generating")
 		flowsOut = flag.String("flows-out", "", "alias for -flows when generating")
-		out      = flag.String("out", "-", "correlated output TSV ('-' = stdout)")
+		out      = flag.String("out", "-", "correlated output path ('-' = stdout)")
 		variant  = flag.String("variant", "Main", "correlator variant")
+		sinkName = flag.String("sink", "tsv", "output sink: tsv or json")
+		batch    = flag.Int("batch-size", core.DefaultWriteBatchSize, "correlated flows per sink WriteBatch call")
 	)
 	flag.Parse()
 	if *dnsOut != "" {
@@ -53,7 +56,7 @@ func main() {
 		generate(*hours, *dnsRate, *flowRate, *seed, *dnsPath, *flowPath)
 		return
 	}
-	correlate(*dnsPath, *flowPath, *out, core.Variant(*variant))
+	correlate(*dnsPath, *flowPath, *out, core.Variant(*variant), *sinkName, *batch)
 }
 
 func generate(hours, dnsRate, flowRate int, seed int64, dnsPath, flowPath string) {
@@ -104,7 +107,7 @@ func generate(hours, dnsRate, flowRate int, seed int64, dnsPath, flowPath string
 		nDNS, dnsPath, nFlows, flowPath)
 }
 
-func correlate(dnsPath, flowPath, outPath string, variant core.Variant) {
+func correlate(dnsPath, flowPath, outPath string, variant core.Variant, sinkName string, batchSize int) {
 	dnsFile, err := os.Open(dnsPath)
 	if err != nil {
 		log.Fatalf("replay: %v", err)
@@ -124,6 +127,11 @@ func correlate(dnsPath, flowPath, outPath string, variant core.Variant) {
 		log.Fatalf("replay: %v", err)
 	}
 
+	// Replay exists to produce an output file; writer-less sinks would
+	// silently leave it empty.
+	if !core.SinkNeedsWriter(sinkName) {
+		log.Fatalf("replay: -sink must be a record-writing sink (e.g. tsv, json), not %q", sinkName)
+	}
 	w := os.Stdout
 	if outPath != "-" {
 		f, err := os.Create(outPath)
@@ -133,15 +141,45 @@ func correlate(dnsPath, flowPath, outPath string, variant core.Variant) {
 		defer f.Close()
 		w = f
 	}
-	sink := core.NewTSVSink(w)
-	c := core.New(core.ConfigForVariant(variant), sink)
+	sink, err := core.NewSinkByName(sinkName, core.SinkOptions{W: w})
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	c := core.New(core.ConfigForVariant(variant), core.WithSink(sink))
 
+	// The replay is deterministic and synchronous (record-clock ordering),
+	// but writes still go out in batches: correlated flows accumulate and
+	// reach the sink through the same amortized WriteBatch path the live
+	// Write workers use.
+	if batchSize < 1 {
+		batchSize = core.DefaultWriteBatchSize
+	}
+	ctx := context.Background()
+	batch := make([]core.CorrelatedFlow, 0, batchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := sink.WriteBatch(ctx, batch); err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+		batch = batch[:0]
+	}
 	start := time.Now()
 	stream.MergeByTime(dns, flows,
 		c.IngestDNS,
-		func(fr netflow.FlowRecord) { sink.Write(c.CorrelateFlow(fr)) },
+		func(fr netflow.FlowRecord) {
+			batch = append(batch, c.CorrelateFlow(fr))
+			if len(batch) >= batchSize {
+				flush()
+			}
+		},
 	)
+	flush()
 	if err := sink.Flush(); err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	if err := sink.Close(); err != nil {
 		log.Fatalf("replay: %v", err)
 	}
 	st := c.Stats()

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -27,12 +28,8 @@ import (
 func parseAddr(s string) (netip.Addr, error) { return netip.ParseAddr(s) }
 
 func main() {
-	// --- collector side ---
-	sink := core.NewTSVSink(os.Stdout)
-	sink.SkipMisses = true
-	c := core.New(core.DefaultConfig(), sink)
-	c.Start()
-
+	// --- collector side: sockets wrapped as v2 Sources, correlator run
+	// under a cancellable context ---
 	dnsLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -42,33 +39,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var sources sync.WaitGroup
-	sources.Add(1)
-	go func() {
-		defer sources.Done()
-		for {
-			conn, err := dnsLn.Accept()
-			if err != nil {
-				return
-			}
-			sources.Add(1)
-			go func() {
-				defer sources.Done()
-				src := stream.NewDNSTCPSource(conn, c.DNSQueue())
-				if err := src.Run(); err != nil {
-					log.Printf("dns stream: %v", err)
-				}
-			}()
-		}
-	}()
-	flowSrc := stream.NewFlowUDPSource(nfConn, c.FlowQueue())
-	sources.Add(1)
-	go func() {
-		defer sources.Done()
-		if err := flowSrc.Run(); err != nil {
-			log.Printf("netflow stream: %v", err)
-		}
-	}()
+	sink := core.NewTSVSink(os.Stdout)
+	sink.SkipMisses = true
+	c := core.New(core.DefaultConfig(),
+		core.WithSink(sink),
+		core.WithSources(stream.NewDNSListener(dnsLn), stream.NewFlowUDPSource(nfConn)),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(ctx) }()
 
 	// --- emitter side: 2 DNS streams + 2 NetFlow exporters ---
 	// Churn is disabled so both generator instances (DNS emitter and its
@@ -137,13 +116,14 @@ func main() {
 	}
 	emitters.Wait()
 
-	// Let the UDP datagrams drain, then shut down cleanly.
+	// Let the UDP datagrams drain, then cancel the run context: the
+	// pipeline closes its sources, drains every stage through the sink,
+	// and Run returns.
 	time.Sleep(300 * time.Millisecond)
-	dnsLn.Close()
-	nfConn.Close()
-	sources.Wait()
-	c.Stop()
-	sink.Flush()
+	cancel()
+	if err := <-runDone; err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
 
 	st := c.Stats()
 	fmt.Fprintf(os.Stderr, "\npipeline: dns records=%d flows=%d correlated=%.1f%% loss=%.4f%% writeDelay=%v\n",

@@ -24,7 +24,7 @@ func main() {
 	u := workload.NewUniverse(workload.DefaultConfig())
 	g := workload.NewGenerator(u, 7)
 	sink := core.NewCountingSink()
-	c := core.New(core.DefaultConfig(), nil)
+	c := core.New(core.DefaultConfig())
 
 	// One simulated day; hourly guaranteed sessions keep the rare
 	// categories visible at example scale (at ISP scale the Zipf tail
@@ -38,7 +38,7 @@ func main() {
 			c.IngestDNS(rec)
 		}
 		for _, fr := range g.FlowBatch(ts, int(6000*mult)) {
-			sink.Write(c.CorrelateFlow(fr))
+			sink.Add(c.CorrelateFlow(fr))
 		}
 		for k := 0; k < 8; k++ {
 			recs, fl := g.SessionFor((h*8+k)%nBad, ts.Add(30*time.Minute), 1)
@@ -46,7 +46,7 @@ func main() {
 				c.IngestDNS(rec)
 			}
 			for _, fr := range fl {
-				sink.Write(c.CorrelateFlow(fr))
+				sink.Add(c.CorrelateFlow(fr))
 			}
 		}
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"os"
@@ -26,7 +27,7 @@ func main() {
 	// A correlator with the paper's defaults (10 splits, 1h/2h clear-up,
 	// chain limit 6) writing TSV rows to stdout.
 	sink := core.NewTSVSink(os.Stdout)
-	c := core.New(core.DefaultConfig(), sink)
+	c := core.New(core.DefaultConfig(), core.WithSink(sink))
 
 	// The DNS stream saw a client resolve a CDN-hosted video service:
 	//   video.example.com CNAME edge7.cdn-west.net
@@ -49,7 +50,7 @@ func main() {
 		SrcPort:   443, DstPort: 51234, Proto: netflow.ProtoTCP,
 		Packets: 28000, Bytes: 40 << 20,
 	})
-	sink.Write(cf)
+	sink.WriteBatch(context.Background(), []core.CorrelatedFlow{cf})
 	sink.Flush()
 
 	fmt.Printf("\nresolved service: %s (tier=%s, CNAME hops=%d)\n",

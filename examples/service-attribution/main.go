@@ -41,7 +41,7 @@ func main() {
 		asn  uint32
 	}
 	bytesBy := map[svcAS]uint64{}
-	c := core.New(core.DefaultConfig(), nil)
+	c := core.New(core.DefaultConfig())
 	start := time.Date(2022, 5, 25, 0, 0, 0, 0, time.UTC)
 	for h := 0; h < 24; h++ {
 		ts := start.Add(time.Duration(h) * time.Hour)

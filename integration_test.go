@@ -4,10 +4,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/netip"
-	"sync"
 	"testing"
 	"time"
 
@@ -18,13 +18,11 @@ import (
 	"repro/internal/workload"
 )
 
-// TestLoopbackPipeline drives the full deployment wiring over real sockets:
-// DNS responses framed over TCP, NetFlow v9 over UDP, one correlator.
+// TestLoopbackPipeline drives the full deployment wiring over real sockets
+// through the v2 API: DNS responses framed over TCP into a listener
+// source, NetFlow v9 over UDP, one correlator run under a cancellable
+// context.
 func TestLoopbackPipeline(t *testing.T) {
-	sink := core.NewCountingSink()
-	c := core.New(core.DefaultConfig(), sink)
-	c.Start()
-
 	dnsLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -34,20 +32,14 @@ func TestLoopbackPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var sources sync.WaitGroup
-	sources.Add(2)
-	go func() {
-		defer sources.Done()
-		conn, err := dnsLn.Accept()
-		if err != nil {
-			return
-		}
-		stream.NewDNSTCPSource(conn, c.DNSQueue()).Run()
-	}()
-	go func() {
-		defer sources.Done()
-		stream.NewFlowUDPSource(nfConn, c.FlowQueue()).Run()
-	}()
+	sink := core.NewCountingSink()
+	c := core.New(core.DefaultConfig(),
+		core.WithSink(sink),
+		core.WithSources(stream.NewDNSListener(dnsLn), stream.NewFlowUDPSource(nfConn)),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(ctx) }()
 
 	// Emit a deterministic session set: every service announced, then a
 	// known flow per service.
@@ -122,11 +114,11 @@ func TestLoopbackPipeline(t *testing.T) {
 		}
 	}
 
-	dnsLn.Close()
-	nfConn.Close()
 	udp.Close()
-	sources.Wait()
-	c.Stop()
+	cancel() // graceful drain: sources close, queues drain into the sink
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run = %v", err)
+	}
 
 	st := c.Stats()
 	if st.CorrelationRate() != 1.0 {
@@ -149,7 +141,7 @@ func TestLoopbackPipeline(t *testing.T) {
 func TestVariantBehaviourCrossModule(t *testing.T) {
 	u := workload.NewUniverse(workload.DefaultConfig())
 	run := func(v core.Variant) core.Stats {
-		c := core.New(core.ConfigForVariant(v), nil)
+		c := core.New(core.ConfigForVariant(v))
 		g := workload.NewGenerator(u, 99)
 		base := time.Date(2022, 5, 25, 0, 0, 0, 0, time.UTC)
 		for h := 0; h < 24; h++ {

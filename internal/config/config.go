@@ -10,7 +10,9 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"slices"
 	"time"
 
 	"repro/internal/core"
@@ -24,6 +26,10 @@ type File struct {
 	FlowStreams []StreamConfig `json:"flow_streams"`
 	// Output configures the correlated-flow sink.
 	Output OutputConfig `json:"output"`
+	// Outputs optionally lists additional sinks; when present the daemon
+	// fans out through a MultiSink (Output plus every entry). See
+	// AllOutputs.
+	Outputs []OutputConfig `json:"outputs,omitempty"`
 	// Correlator tunes the core pipeline.
 	Correlator CorrelatorConfig `json:"correlator"`
 }
@@ -39,13 +45,28 @@ type StreamConfig struct {
 	Format string `json:"format"`
 }
 
-// OutputConfig describes the sink.
+// OutputConfig describes one sink.
 type OutputConfig struct {
-	// Path is the TSV output file; "-" or "" means stdout.
+	// Path is the output file; "-" or "" means stdout.
 	Path string `json:"path"`
+	// Sink names the registered sink backend: "tsv" (default), "json",
+	// "counting", or "discard". See core.SinkNames.
+	Sink string `json:"sink"`
 	// SkipMisses drops uncorrelated rows.
 	SkipMisses bool `json:"skip_misses"`
 }
+
+// NewSink builds the configured sink over w (ignored by writer-less sinks
+// such as "counting" and "discard").
+func (o OutputConfig) NewSink(w io.Writer) (core.Sink, error) {
+	return core.NewSinkByName(o.Sink, core.SinkOptions{W: w, SkipMisses: o.SkipMisses})
+}
+
+// NeedsWriter reports whether the configured sink writes records to an
+// output stream ("" means the tsv default), per the sink registry's own
+// metadata. Writer-less sinks (counting, discard) must not be given a
+// Path — the file would be created and left empty.
+func (o OutputConfig) NeedsWriter() bool { return core.SinkNeedsWriter(o.Sink) }
 
 // CorrelatorConfig mirrors the tunable subset of core.Config.
 type CorrelatorConfig struct {
@@ -59,6 +80,8 @@ type CorrelatorConfig struct {
 	CClearUpSeconds int    `json:"c_clear_up_seconds"` // 0 = 7200
 	CNAMEChainLimit int    `json:"cname_chain_limit"`  // 0 = 6
 	QueueCapacity   int    `json:"queue_capacity"`     // 0 = default
+	WriteBatchSize  int    `json:"write_batch_size"`   // 0 = default (256)
+	WriteFlushMS    int    `json:"write_flush_ms"`     // 0 = default (50 ms)
 }
 
 // validFormats per stream family.
@@ -101,10 +124,35 @@ func Parse(data []byte) (*File, error) {
 			return nil, fmt.Errorf("config: flow_streams[%d]: unsupported format %q", i, s.Format)
 		}
 	}
+	registered := core.SinkNames()
+	for i, o := range f.AllOutputs() {
+		// Label errors with the user's own field: the singular "output"
+		// entry, or its index in the "outputs" list.
+		field := "output"
+		if i > 0 {
+			field = fmt.Sprintf("outputs[%d]", i-1)
+		}
+		if o.Sink == "multi" {
+			return nil, fmt.Errorf("config: %s: \"multi\" is implied by listing several outputs", field)
+		}
+		if o.Sink != "" && !slices.Contains(registered, o.Sink) {
+			return nil, fmt.Errorf("config: %s: unknown sink %q (have %v)", field, o.Sink, registered)
+		}
+		if !o.NeedsWriter() && o.Path != "" && o.Path != "-" {
+			return nil, fmt.Errorf("config: %s: sink %q does not write to a file; remove path %q", field, o.Sink, o.Path)
+		}
+	}
 	if _, err := f.CoreConfig(); err != nil {
 		return nil, err
 	}
 	return &f, nil
+}
+
+// AllOutputs returns the full sink list the daemon must construct: the
+// singular Output followed by every Outputs entry. Validation and
+// construction both iterate this, so the two can never diverge.
+func (f *File) AllOutputs() []OutputConfig {
+	return append([]OutputConfig{f.Output}, f.Outputs...)
 }
 
 // CoreConfig converts the correlator section to a core.Config.
@@ -157,6 +205,12 @@ func (f *File) CoreConfig() (core.Config, error) {
 		cfg.LookQueueCap = cc.QueueCapacity
 		cfg.WriteQueueCap = cc.QueueCapacity
 	}
+	if cc.WriteBatchSize > 0 {
+		cfg.WriteBatchSize = cc.WriteBatchSize
+	}
+	if cc.WriteFlushMS > 0 {
+		cfg.WriteFlushInterval = time.Duration(cc.WriteFlushMS) * time.Millisecond
+	}
 	return cfg, nil
 }
 
@@ -172,11 +226,14 @@ func Example() *File {
 			{Listen: ":2055", Format: "netflow"},
 			{Listen: ":4739", Format: "ipfix"},
 		},
-		Output: OutputConfig{Path: "correlated.tsv"},
+		Output: OutputConfig{Path: "correlated.tsv", Sink: "tsv"},
 		Correlator: CorrelatorConfig{
-			Variant:       "Main",
-			LookupKey:     "source",
-			FillUpWorkers: 4, LookUpWorkers: 8, WriteWorkers: 2,
+			Variant:        "Main",
+			LookupKey:      "source",
+			FillUpWorkers:  4,
+			LookUpWorkers:  8,
+			WriteWorkers:   2,
+			WriteBatchSize: core.DefaultWriteBatchSize,
 		},
 	}
 }

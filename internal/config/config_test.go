@@ -2,6 +2,7 @@ package config
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,7 +21,7 @@ func TestParseMinimal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	norm := core.New(cfg, nil).Config()
+	norm := core.New(cfg).Config()
 	if norm.NumSplit != core.DefaultNumSplit || norm.Key != core.LookupSource {
 		t.Fatalf("defaults not applied: %+v", norm)
 	}
@@ -72,6 +73,10 @@ func TestParseErrors(t *testing.T) {
 		{`{"flow_streams":[{"listen":":1","format":"weird"}]}`, "unsupported format"},
 		{`{"dns_streams":[{"listen":":1"}],"correlator":{"variant":"Bogus"}}`, "unknown variant"},
 		{`{"dns_streams":[{"listen":":1"}],"correlator":{"lookup_key":"sideways"}}`, "unknown lookup_key"},
+		{`{"dns_streams":[{"listen":":1"}],"output":{"sink":"kafka"}}`, "unknown sink"},
+		{`{"dns_streams":[{"listen":":1"}],"output":{"sink":"multi"}}`, "implied"},
+		{`{"dns_streams":[{"listen":":1"}],"output":{"sink":"counting","path":"x.tsv"}}`, "does not write to a file"},
+		{`{"dns_streams":[{"listen":":1"}],"outputs":[{"sink":"bogus"}]}`, "outputs[0]"},
 	}
 	for _, c := range cases {
 		_, err := Parse([]byte(c.doc))
@@ -110,6 +115,41 @@ func TestExampleIsValid(t *testing.T) {
 	}
 	if _, err := Parse(data); err != nil {
 		t.Fatalf("example config invalid: %v", err)
+	}
+}
+
+func TestSinkAndBatchConfig(t *testing.T) {
+	doc := `{
+		"dns_streams":[{"listen":":5353"}],
+		"output":{"path":"out.jsonl","sink":"json","skip_misses":true},
+		"outputs":[{"sink":"counting"}],
+		"correlator":{"write_batch_size":512,"write_flush_ms":10}
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WriteBatchSize != 512 || cfg.WriteFlushInterval != 10*time.Millisecond {
+		t.Fatalf("batch tuning = %d/%v", cfg.WriteBatchSize, cfg.WriteFlushInterval)
+	}
+	s, err := f.Output.NewSink(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js, ok := s.(*core.JSONSink); !ok || !js.SkipMisses {
+		t.Fatalf("sink = %T", s)
+	}
+	if len(f.Outputs) != 1 {
+		t.Fatalf("outputs = %d", len(f.Outputs))
+	}
+	if s, err := f.Outputs[0].NewSink(nil); err != nil {
+		t.Fatal(err)
+	} else if _, ok := s.(*core.CountingSink); !ok {
+		t.Fatalf("extra sink = %T", s)
 	}
 }
 

@@ -9,6 +9,7 @@ package core
 //
 //	go test -bench=Ablation -benchmem ./internal/core/
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ func BenchmarkAblationNumSplit(b *testing.B) {
 		b.Run(fmt.Sprintf("splits=%d", splits), func(b *testing.B) {
 			cfg := DefaultConfig()
 			cfg.NumSplit = splits
-			c := New(cfg, nil)
+			c := New(cfg)
 			for _, rec := range dns {
 				c.IngestDNS(rec)
 			}
@@ -63,7 +64,7 @@ func BenchmarkAblationChainLimit(b *testing.B) {
 		b.Run(fmt.Sprintf("limit=%d", limit), func(b *testing.B) {
 			cfg := DefaultConfig()
 			cfg.CNAMEChainLimit = limit
-			c := New(cfg, nil)
+			c := New(cfg)
 			// 16-deep chain so every limit is exercised fully.
 			for i := 0; i < 16; i++ {
 				c.IngestDNS(cnameRec(t0, fmt.Sprintf("n%d.example", i+1), fmt.Sprintf("n%d.example", i), 300))
@@ -93,15 +94,14 @@ func BenchmarkAblationQueueCapacity(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultConfig()
 				cfg.FillQueueCap, cfg.LookQueueCap, cfg.WriteQueueCap = capacity, capacity, capacity
-				c := New(cfg, nil)
-				c.Start()
-				for _, rec := range dns {
-					c.OfferDNS(rec)
-				}
-				for _, fr := range flows {
-					c.OfferFlow(fr)
-				}
-				c.Stop()
+				c := New(cfg)
+				ctx, cancel := context.WithCancel(context.Background())
+				runDone := make(chan error, 1)
+				go func() { runDone <- c.Run(ctx) }()
+				c.OfferDNSBatch(dns)
+				c.OfferFlowBatch(flows)
+				cancel()
+				<-runDone
 				lastLoss = c.Stats().LossRate()
 			}
 			b.ReportMetric(lastLoss, "loss_rate")
@@ -127,7 +127,7 @@ func BenchmarkAblationRotation(b *testing.B) {
 			// the rotation-vs-clear cost difference shows in the delta
 			// between the two sub-benchmarks (the fill cost is identical).
 			for i := 0; i < b.N; i++ {
-				c := New(cfg, nil)
+				c := New(cfg)
 				for _, rec := range dns {
 					c.IngestDNS(rec)
 				}

@@ -21,6 +21,14 @@ const (
 	DefaultCClearUpInterval = 7200 * time.Second
 	DefaultCNAMEChainLimit  = 6
 	DefaultQueueCapacity    = 65536
+	// DefaultWriteBatchSize is how many correlated flows a Write worker
+	// accumulates per sink WriteBatch call: one lock acquisition and one
+	// buffered write amortized over the batch.
+	DefaultWriteBatchSize = 256
+	// DefaultWriteFlushInterval bounds how long a Write worker lingers for
+	// a batch to fill before handing a partial batch to the sink — the
+	// latency ceiling batching adds under light load.
+	DefaultWriteFlushInterval = 50 * time.Millisecond
 )
 
 // LookupKey selects which flow address the LookUp workers resolve. The
@@ -82,6 +90,13 @@ type Config struct {
 	LookQueueCap  int
 	WriteQueueCap int
 
+	// WriteBatchSize bounds how many correlated flows a Write worker hands
+	// to the sink per WriteBatch call.
+	WriteBatchSize int
+	// WriteFlushInterval bounds how long a Write worker waits for a batch
+	// to fill before flushing a partial one.
+	WriteFlushInterval time.Duration
+
 	// Ablation switches (§4 benchmarks).
 	DisableSplit    bool // "No Split": one IP-NAME map instead of NumSplit
 	DisableClearUp  bool // "No Clear-Up": maps are never cleared
@@ -109,6 +124,8 @@ func DefaultConfig() Config {
 		FillQueueCap:          DefaultQueueCapacity,
 		LookQueueCap:          DefaultQueueCapacity,
 		WriteQueueCap:         DefaultQueueCapacity,
+		WriteBatchSize:        DefaultWriteBatchSize,
+		WriteFlushInterval:    DefaultWriteFlushInterval,
 		ExactTTLSweepInterval: 60 * time.Second,
 	}
 }
@@ -182,6 +199,12 @@ func (c Config) normalized() Config {
 	}
 	if c.WriteQueueCap <= 0 {
 		c.WriteQueueCap = d.WriteQueueCap
+	}
+	if c.WriteBatchSize <= 0 {
+		c.WriteBatchSize = d.WriteBatchSize
+	}
+	if c.WriteFlushInterval <= 0 {
+		c.WriteFlushInterval = d.WriteFlushInterval
 	}
 	if c.ExactTTLSweepInterval <= 0 {
 		c.ExactTTLSweepInterval = d.ExactTTLSweepInterval

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,57 +27,110 @@ type CorrelatedFlow struct {
 	// Tier records which generation satisfied the IP-NAME lookup.
 	Tier Tier
 	// EnqueuedAt is the wall-clock instant the flow entered the LookUp
-	// queue; sinks derive the paper's write-delay metric from it.
+	// queue (stamped by OfferFlow/OfferFlowBatch; zero for synchronous
+	// CorrelateFlow calls). The write-delay metric — time from flow arrival
+	// to the sink write, spanning the LookUp wait, the correlation, and the
+	// write queue — derives from it.
 	EnqueuedAt time.Time
 }
 
 // Correlated reports whether a name was resolved.
 func (c *CorrelatedFlow) Correlated() bool { return c.Name != "" }
 
-// Sink consumes correlated flows. Implementations must be safe for
-// concurrent use when Config.WriteWorkers > 1.
-type Sink interface {
-	Write(cf CorrelatedFlow)
+// ErrAlreadyRunning is returned by Run when the correlator has already been
+// run; a Correlator's lifecycle is single-use.
+var ErrAlreadyRunning = errors.New("core: correlator already running")
+
+// flowEntry is one LookUp queue item: the flow plus its arrival instant.
+type flowEntry struct {
+	fr netflow.FlowRecord
+	at time.Time
 }
 
-// SinkFunc adapts a function to the Sink interface.
-type SinkFunc func(cf CorrelatedFlow)
+// ingestBatchSize bounds how many records a FillUp/LookUp worker drains per
+// queue round trip; batching here cuts per-record channel overhead without
+// adding latency (workers never wait for a batch to fill).
+const ingestBatchSize = 128
 
-// Write calls f.
-func (f SinkFunc) Write(cf CorrelatedFlow) { f(cf) }
+// Option configures optional Correlator behaviour at construction.
+type Option func(*Correlator)
+
+// WithSink routes correlated flows to s. Without this option output is
+// discarded (pure measurement runs). The correlator owns the sink's
+// lifecycle from Run's perspective: Flush then Close at the end of the
+// drain.
+func WithSink(s Sink) Option {
+	return func(c *Correlator) {
+		if s != nil {
+			c.sink = s
+		}
+	}
+}
+
+// WithSources attaches input streams. Run launches every source with the
+// run context and the correlator as the ingest façade; when all sources
+// complete, the pipeline drains and Run returns.
+func WithSources(srcs ...stream.Source) Option {
+	return func(c *Correlator) {
+		for _, s := range srcs {
+			if s != nil {
+				c.sources = append(c.sources, s)
+			}
+		}
+	}
+}
+
+// WithMetrics invokes observe with a stats snapshot every interval while
+// Run is active, plus once at the end of the drain — the hook the daemon
+// uses for periodic logging and exporters use for scraping.
+func WithMetrics(interval time.Duration, observe func(Stats)) Option {
+	return func(c *Correlator) {
+		if interval > 0 && observe != nil {
+			c.metricsInterval = interval
+			c.observe = observe
+		}
+	}
+}
 
 // Correlator is the FlowDNS pipeline of Figure 1. Construct with New, feed
-// it via OfferDNS/OfferFlow (or the deterministic IngestDNS/CorrelateFlow),
-// start the workers with Start, and Stop to drain.
+// it via the stream.Ingest façade (OfferDNS/OfferFlow and their batch
+// forms) or attach Sources, run the workers with Run(ctx) — cancellation
+// stops intake and drains every stage through the sink — and read Stats
+// at any time. The deterministic IngestDNS/CorrelateFlow methods bypass
+// the queues for offline replays.
 type Correlator struct {
-	cfg  Config
-	sink Sink
+	cfg     Config
+	sink    Sink
+	sources []stream.Source
+
+	metricsInterval time.Duration
+	observe         func(Stats)
 
 	ipName    *store // A/AAAA answer(IP) -> query name
 	nameCname *store // CNAME answer(canonical) -> query (alias)
 
 	fillQ  *queue.Queue[stream.DNSRecord]
-	lookQ  *queue.Queue[netflow.FlowRecord]
+	lookQ  *queue.Queue[flowEntry]
 	writeQ *queue.Queue[CorrelatedFlow]
 
-	wgFill  sync.WaitGroup
-	wgLook  sync.WaitGroup
-	wgWrite sync.WaitGroup
 	started atomic.Bool
+
+	// sinkErr holds the first WriteBatch error; once set, write workers
+	// drain without writing and Run begins shutdown.
+	sinkErr     atomic.Pointer[error]
+	sinkFailed  chan struct{}
+	sinkErrOnce sync.Once
 
 	stats statsCounters
 }
 
-// New builds a Correlator with the given config and sink. A nil sink
-// discards output (useful for pure measurement runs).
-func New(cfg Config, sink Sink) *Correlator {
+// New builds a Correlator with the given config. With no options the
+// correlator discards output and has no sources.
+func New(cfg Config, opts ...Option) *Correlator {
 	cfg = cfg.normalized()
-	if sink == nil {
-		sink = SinkFunc(func(CorrelatedFlow) {})
-	}
 	c := &Correlator{
 		cfg:  cfg,
-		sink: sink,
+		sink: DiscardSink{},
 		ipName: newStore(storeConfig{
 			splits:        cfg.NumSplit,
 			interval:      cfg.AClearUpInterval,
@@ -96,9 +151,15 @@ func New(cfg Config, sink Sink) *Correlator {
 			exactTTL:      cfg.ExactTTL,
 			sweepInterval: cfg.ExactTTLSweepInterval,
 		}),
-		fillQ:  queue.New[stream.DNSRecord](cfg.FillQueueCap),
-		lookQ:  queue.New[netflow.FlowRecord](cfg.LookQueueCap),
-		writeQ: queue.New[CorrelatedFlow](cfg.WriteQueueCap),
+		fillQ:      queue.New[stream.DNSRecord](cfg.FillQueueCap),
+		lookQ:      queue.New[flowEntry](cfg.LookQueueCap),
+		writeQ:     queue.New[CorrelatedFlow](cfg.WriteQueueCap),
+		sinkFailed: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(c)
+		}
 	}
 	return c
 }
@@ -106,81 +167,235 @@ func New(cfg Config, sink Sink) *Correlator {
 // Config returns the normalized configuration in effect.
 func (c *Correlator) Config() Config { return c.cfg }
 
-// --- queue-facing API (live pipeline) ---
+// --- stream.Ingest façade (live pipeline) ---
 
 // OfferDNS places a DNS record on the FillUp queue; a false return is a
 // dropped record (stream loss).
 func (c *Correlator) OfferDNS(rec stream.DNSRecord) bool { return c.fillQ.Offer(rec) }
 
-// OfferFlow places a flow on the LookUp queue; a false return is a dropped
-// record (stream loss).
-func (c *Correlator) OfferFlow(fr netflow.FlowRecord) bool { return c.lookQ.Offer(fr) }
+// OfferDNSBatch places a batch of DNS records on the FillUp queue and
+// returns how many were accepted.
+func (c *Correlator) OfferDNSBatch(recs []stream.DNSRecord) int {
+	return c.fillQ.OfferBatch(recs)
+}
 
-// DNSQueue exposes the FillUp queue so stream sources can offer directly.
-func (c *Correlator) DNSQueue() *queue.Queue[stream.DNSRecord] { return c.fillQ }
+// OfferFlow places a flow on the LookUp queue, stamping its arrival
+// instant; a false return is a dropped record (stream loss).
+func (c *Correlator) OfferFlow(fr netflow.FlowRecord) bool {
+	return c.lookQ.Offer(flowEntry{fr: fr, at: time.Now()})
+}
 
-// FlowQueue exposes the LookUp queue so stream sources can offer directly.
-func (c *Correlator) FlowQueue() *queue.Queue[netflow.FlowRecord] { return c.lookQ }
-
-// Start launches the FillUp, LookUp, and Write workers.
-func (c *Correlator) Start() {
-	if !c.started.CompareAndSwap(false, true) {
-		return
+// OfferFlowBatch places a batch of flows on the LookUp queue — one arrival
+// stamp for the whole batch — and returns how many were accepted.
+func (c *Correlator) OfferFlowBatch(frs []netflow.FlowRecord) int {
+	if len(frs) == 0 {
+		return 0
 	}
+	now := time.Now()
+	entries := make([]flowEntry, len(frs))
+	for i := range frs {
+		entries[i] = flowEntry{fr: frs[i], at: now}
+	}
+	return c.lookQ.OfferBatch(entries)
+}
+
+var _ stream.Ingest = (*Correlator)(nil)
+
+// QueueDepths reports the current occupancy of the three stage queues —
+// the "buffer usage" the paper's operators watch to keep loss at zero.
+func (c *Correlator) QueueDepths() (fill, look, write int) {
+	return c.fillQ.Len(), c.lookQ.Len(), c.writeQ.Len()
+}
+
+// Run executes the pipeline: it launches the FillUp, LookUp, and Write
+// workers plus every attached source, then blocks until one of
+//
+//   - ctx is cancelled (graceful shutdown request),
+//   - all attached sources complete (end of finite input),
+//   - a source fails (abnormal stream death must not leave the pipeline
+//     running blind), or
+//   - the sink fails (first WriteBatch error)
+//
+// and performs a graceful drain: sources stop, every stage queue is closed
+// and drained in order, in-flight records reach the sink, and the sink is
+// flushed and closed. Run returns source and sink errors joined;
+// cancellation itself is a clean shutdown, not an error. A Correlator runs
+// at most once.
+func (c *Correlator) Run(ctx context.Context) error {
+	if !c.started.CompareAndSwap(false, true) {
+		return ErrAlreadyRunning
+	}
+
+	var wgFill, wgLook, wgWrite sync.WaitGroup
 	for i := 0; i < c.cfg.FillUpWorkers; i++ {
-		c.wgFill.Add(1)
+		wgFill.Add(1)
 		go func() {
-			defer c.wgFill.Done()
+			defer wgFill.Done()
+			batch := make([]stream.DNSRecord, 0, ingestBatchSize)
 			for {
-				rec, ok := c.fillQ.Take()
+				var ok bool
+				batch, ok = c.fillQ.TakeBatch(batch[:0], ingestBatchSize, 0)
 				if !ok {
 					return
 				}
-				c.IngestDNS(rec)
+				for i := range batch {
+					c.IngestDNS(batch[i])
+				}
 			}
 		}()
 	}
 	for i := 0; i < c.cfg.LookUpWorkers; i++ {
-		c.wgLook.Add(1)
+		wgLook.Add(1)
 		go func() {
-			defer c.wgLook.Done()
+			defer wgLook.Done()
+			batch := make([]flowEntry, 0, ingestBatchSize)
+			out := make([]CorrelatedFlow, 0, ingestBatchSize)
 			for {
-				fr, ok := c.lookQ.Take()
+				var ok bool
+				batch, ok = c.lookQ.TakeBatch(batch[:0], ingestBatchSize, 0)
 				if !ok {
 					return
 				}
-				cf := c.CorrelateFlow(fr)
-				cf.EnqueuedAt = time.Now()
-				c.writeQ.Offer(cf)
+				out = out[:0]
+				for i := range batch {
+					cf := c.CorrelateFlow(batch[i].fr)
+					cf.EnqueuedAt = batch[i].at
+					out = append(out, cf)
+				}
+				c.writeQ.OfferBatch(out)
 			}
 		}()
 	}
+	// The drain must finish even after ctx is cancelled: in-flight records
+	// belong to the sink, so sink writes run under an uncancellable child.
+	writeCtx := context.WithoutCancel(ctx)
 	for i := 0; i < c.cfg.WriteWorkers; i++ {
-		c.wgWrite.Add(1)
+		wgWrite.Add(1)
 		go func() {
-			defer c.wgWrite.Done()
+			defer wgWrite.Done()
+			batch := make([]CorrelatedFlow, 0, c.cfg.WriteBatchSize)
 			for {
-				cf, ok := c.writeQ.Take()
+				var ok bool
+				batch, ok = c.writeQ.TakeBatch(batch[:0], c.cfg.WriteBatchSize, c.cfg.WriteFlushInterval)
 				if !ok {
 					return
 				}
-				c.stats.written.Add(1)
-				c.observeWriteDelay(time.Since(cf.EnqueuedAt))
-				c.sink.Write(cf)
+				now := time.Now()
+				for i := range batch {
+					if !batch[i].EnqueuedAt.IsZero() {
+						c.observeWriteDelay(now.Sub(batch[i].EnqueuedAt))
+					}
+				}
+				if c.sinkErr.Load() != nil {
+					continue // sink already failed: drain without writing
+				}
+				if err := c.sink.WriteBatch(writeCtx, batch); err != nil {
+					c.failSink(err)
+					continue
+				}
+				c.stats.written.Add(uint64(len(batch)))
+				// Push buffered sink output down to the writer whenever the
+				// flush-interval timer fired (partial batch) or no more
+				// records are imminent (queue drained) — so
+				// WriteFlushInterval bounds end-to-end latency even when a
+				// burst ends on an exactly-full batch or WriteBatchSize is
+				// 1. Under sustained load batches are full and the queue
+				// non-empty, so the buffer amortizes naturally.
+				if len(batch) < c.cfg.WriteBatchSize || c.writeQ.Len() == 0 {
+					if err := c.sink.Flush(); err != nil {
+						c.failSink(err)
+					}
+				}
 			}
 		}()
 	}
-}
 
-// Stop closes the input queues, waits for every stage to drain, and returns
-// once the sink has seen all in-flight records. Safe to call once.
-func (c *Correlator) Stop() {
+	// Sources run under their own cancellable context so that sink
+	// failure, source failure, and source completion can stop intake
+	// before ctx itself is done.
+	srcCtx, stopSources := context.WithCancel(ctx)
+	defer stopSources()
+	var wgSrc sync.WaitGroup
+	var srcFailedOnce sync.Once
+	srcFailed := make(chan struct{})
+	srcErrs := make([]error, len(c.sources))
+	for i, src := range c.sources {
+		wgSrc.Add(1)
+		go func(i int, src stream.Source) {
+			defer wgSrc.Done()
+			if err := src.Run(srcCtx, c); err != nil {
+				srcErrs[i] = err
+				// Fail fast: a source that dies abnormally must not leave
+				// the pipeline running blind until process exit.
+				srcFailedOnce.Do(func() { close(srcFailed) })
+			}
+		}(i, src)
+	}
+	var sourcesDone chan struct{}
+	if len(c.sources) > 0 {
+		sourcesDone = make(chan struct{})
+		go func() {
+			wgSrc.Wait()
+			close(sourcesDone)
+		}()
+	}
+
+	var wgMetrics sync.WaitGroup
+	metricsStop := make(chan struct{})
+	if c.observe != nil {
+		wgMetrics.Add(1)
+		go func() {
+			defer wgMetrics.Done()
+			ticker := time.NewTicker(c.metricsInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					c.observe(c.Stats())
+				case <-metricsStop:
+					return
+				}
+			}
+		}()
+	}
+
+	select {
+	case <-ctx.Done():
+	case <-c.sinkFailed:
+	case <-srcFailed:
+	case <-sourcesDone:
+	}
+
+	// Graceful drain: stop intake, then close and drain stage by stage.
+	stopSources()
+	wgSrc.Wait()
 	c.fillQ.Close()
 	c.lookQ.Close()
-	c.wgFill.Wait()
-	c.wgLook.Wait()
+	wgFill.Wait()
+	wgLook.Wait()
 	c.writeQ.Close()
-	c.wgWrite.Wait()
+	wgWrite.Wait()
+	close(metricsStop)
+	wgMetrics.Wait()
+
+	errs := make([]error, 0, len(srcErrs)+3)
+	errs = append(errs, srcErrs...)
+	if perr := c.sinkErr.Load(); perr != nil {
+		errs = append(errs, *perr)
+	}
+	errs = append(errs, c.sink.Flush(), c.sink.Close())
+	if c.observe != nil {
+		c.observe(c.Stats())
+	}
+	return errors.Join(errs...)
+}
+
+// failSink records the first sink error and triggers shutdown.
+func (c *Correlator) failSink(err error) {
+	c.sinkErrOnce.Do(func() {
+		c.sinkErr.Store(&err)
+		close(c.sinkFailed)
+	})
 }
 
 // --- synchronous API (deterministic replays, tests, examples) ---

@@ -2,9 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -32,7 +35,7 @@ func flow(ts time.Time, srcIP string, bytes uint64) netflow.FlowRecord {
 	}
 }
 
-func newSyncCorrelator(cfg Config) *Correlator { return New(cfg, nil) }
+func newSyncCorrelator(cfg Config) *Correlator { return New(cfg) }
 
 func TestDirectALookup(t *testing.T) {
 	c := newSyncCorrelator(DefaultConfig())
@@ -296,8 +299,10 @@ func TestPipelineEndToEnd(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.FillUpWorkers, cfg.LookUpWorkers, cfg.WriteWorkers = 2, 4, 2
 	sink := NewCountingSink()
-	c := New(cfg, sink)
-	c.Start()
+	c := New(cfg, WithSink(sink))
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(ctx) }()
 	const services = 20
 	for i := 0; i < services; i++ {
 		ok := c.OfferDNS(aRec(t0, fmt.Sprintf("svc%d.example", i), fmt.Sprintf("198.51.100.%d", i), 300))
@@ -305,21 +310,28 @@ func TestPipelineEndToEnd(t *testing.T) {
 			t.Fatal("DNS offer dropped")
 		}
 	}
-	// Give FillUp a moment to drain before flows arrive (live systems have
-	// the same warm-up; the paper's streams run continuously).
-	for c.DNSQueue().Len() > 0 {
+	// Let FillUp finish ingesting before flows arrive (live systems have
+	// the same warm-up; the paper's streams run continuously). Queue depth
+	// is not enough — a taken batch may still be mid-ingest — so wait on
+	// the ingested-records counter.
+	for c.Stats().DNSRecords < services {
 		time.Sleep(time.Millisecond)
 	}
-	time.Sleep(10 * time.Millisecond)
 	const flowsPerSvc = 50
+	frs := make([]netflow.FlowRecord, 0, flowsPerSvc)
 	for i := 0; i < services; i++ {
+		frs = frs[:0]
 		for j := 0; j < flowsPerSvc; j++ {
-			if !c.OfferFlow(flow(t0.Add(time.Second), fmt.Sprintf("198.51.100.%d", i), 100)) {
-				t.Fatal("flow offer dropped")
-			}
+			frs = append(frs, flow(t0.Add(time.Second), fmt.Sprintf("198.51.100.%d", i), 100))
+		}
+		if accepted := c.OfferFlowBatch(frs); accepted != flowsPerSvc {
+			t.Fatalf("flow batch: %d/%d accepted", accepted, flowsPerSvc)
 		}
 	}
-	c.Stop()
+	cancel() // graceful drain: every offered record reaches the sink
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run = %v", err)
+	}
 	st := c.Stats()
 	if st.Flows != services*flowsPerSvc {
 		t.Fatalf("flows = %d", st.Flows)
@@ -342,25 +354,117 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 }
 
-func TestStartIdempotentStopDrains(t *testing.T) {
-	c := New(DefaultConfig(), nil)
-	c.Start()
-	c.Start() // second call is a no-op
+func TestRunSingleUseAndDrains(t *testing.T) {
+	c := New(DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(ctx) }()
 	c.OfferDNS(aRec(t0, "a.example", "198.51.100.70", 60))
-	c.Stop()
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run = %v", err)
+	}
 	if st := c.Stats(); st.DNSRecords != 1 {
 		t.Fatalf("DNSRecords = %d", st.DNSRecords)
+	}
+	// A Correlator's lifecycle is single-use.
+	if err := c.Run(context.Background()); err != ErrAlreadyRunning {
+		t.Fatalf("second Run = %v, want ErrAlreadyRunning", err)
+	}
+}
+
+func TestRunEndsWhenSourcesComplete(t *testing.T) {
+	// With finite sources attached, Run drains and returns on its own —
+	// no cancellation needed.
+	sink := NewCountingSink()
+	src := stream.SourceFunc(func(ctx context.Context, in stream.Ingest) error {
+		in.OfferDNS(aRec(t0, "svc.example", "198.51.100.71", 300))
+		// Wait until the record is ingested (not merely dequeued) before
+		// the flow that depends on it.
+		for correlatorOf(in).Stats().DNSRecords < 1 {
+			time.Sleep(time.Millisecond)
+		}
+		in.OfferFlow(flow(t0.Add(time.Second), "198.51.100.71", 500))
+		return nil
+	})
+	c := New(DefaultConfig(), WithSink(sink), WithSources(src))
+	done := make(chan error, 1)
+	go func() { done <- c.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after sources completed")
+	}
+	if got := sink.Bytes()["svc.example"]; got != 500 {
+		t.Fatalf("bytes = %d", got)
+	}
+}
+
+// correlatorOf recovers the concrete correlator behind the ingest façade
+// in tests that need queue visibility.
+func correlatorOf(in stream.Ingest) *Correlator { return in.(*Correlator) }
+
+func TestRunSourceErrorFailsFast(t *testing.T) {
+	boom := errors.New("wire fell over")
+	failing := stream.SourceFunc(func(ctx context.Context, in stream.Ingest) error { return boom })
+	// A healthy sibling source that only ends on cancellation: Run must
+	// not wait for it once the failing source has died.
+	forever := stream.SourceFunc(func(ctx context.Context, in stream.Ingest) error {
+		<-ctx.Done()
+		return nil
+	})
+	c := New(DefaultConfig(), WithSources(failing, forever))
+	done := make(chan error, 1)
+	go func() { done <- c.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("Run = %v, want %v", err, boom)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not fail fast on source error")
+	}
+}
+
+func TestWithMetricsObserves(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []Stats
+	c := New(DefaultConfig(), WithMetrics(time.Millisecond, func(st Stats) {
+		mu.Lock()
+		snaps = append(snaps, st)
+		mu.Unlock()
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(ctx) }()
+	c.OfferDNS(aRec(t0, "a.example", "198.51.100.72", 60))
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	<-runDone
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("no metrics observations")
+	}
+	if final := snaps[len(snaps)-1]; final.DNSRecords != 1 {
+		t.Fatalf("final snapshot = %+v", final)
 	}
 }
 
 func TestTSVSink(t *testing.T) {
+	ctx := context.Background()
 	var buf bytes.Buffer
 	sink := NewTSVSink(&buf)
-	sink.Write(CorrelatedFlow{
-		Flow: flow(t0, "198.51.100.7", 1234),
-		Name: "svc.example", Tier: TierActive, ChainLen: 2,
+	err := sink.WriteBatch(ctx, []CorrelatedFlow{
+		{Flow: flow(t0, "198.51.100.7", 1234), Name: "svc.example", Tier: TierActive, ChainLen: 2},
+		{Flow: flow(t0, "198.51.100.8", 10)},
 	})
-	sink.Write(CorrelatedFlow{Flow: flow(t0, "198.51.100.8", 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sink.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +482,7 @@ func TestTSVSink(t *testing.T) {
 	buf.Reset()
 	sink2 := NewTSVSink(&buf)
 	sink2.SkipMisses = true
-	sink2.Write(CorrelatedFlow{Flow: flow(t0, "198.51.100.8", 10)})
+	sink2.WriteBatch(ctx, []CorrelatedFlow{{Flow: flow(t0, "198.51.100.8", 10)}})
 	sink2.Flush()
 	if buf.Len() != 0 {
 		t.Fatalf("SkipMisses wrote %q", buf.String())
@@ -388,7 +492,7 @@ func TestTSVSink(t *testing.T) {
 func TestMultiSink(t *testing.T) {
 	a, b := NewCountingSink(), NewCountingSink()
 	ms := MultiSink{a, b}
-	ms.Write(CorrelatedFlow{Flow: flow(t0, "198.51.100.7", 5), Name: "x"})
+	ms.WriteBatch(context.Background(), []CorrelatedFlow{{Flow: flow(t0, "198.51.100.7", 5), Name: "x"}})
 	if a.Bytes()["x"] != 5 || b.Bytes()["x"] != 5 {
 		t.Fatal("MultiSink did not fan out")
 	}
@@ -411,7 +515,7 @@ func TestChainHistogram(t *testing.T) {
 }
 
 func TestConfigNormalization(t *testing.T) {
-	c := New(Config{}, nil)
+	c := New(Config{})
 	cfg := c.Config()
 	if cfg.NumSplit != DefaultNumSplit || cfg.AClearUpInterval != DefaultAClearUpInterval ||
 		cfg.CNAMEChainLimit != DefaultCNAMEChainLimit || cfg.FillUpWorkers <= 0 {
@@ -454,7 +558,7 @@ func TestStatsRates(t *testing.T) {
 }
 
 func BenchmarkIngestDNS(b *testing.B) {
-	c := New(DefaultConfig(), nil)
+	c := New(DefaultConfig())
 	recs := make([]stream.DNSRecord, 1024)
 	for i := range recs {
 		recs[i] = aRec(t0, fmt.Sprintf("d%d.example.com", i), fmt.Sprintf("198.51.%d.%d", i/256, i%256), 300)
@@ -467,7 +571,7 @@ func BenchmarkIngestDNS(b *testing.B) {
 }
 
 func BenchmarkCorrelateFlowHit(b *testing.B) {
-	c := New(DefaultConfig(), nil)
+	c := New(DefaultConfig())
 	for i := 0; i < 1024; i++ {
 		c.IngestDNS(aRec(t0, fmt.Sprintf("d%d.example.com", i), fmt.Sprintf("198.51.%d.%d", i/256, i%256), 300))
 	}
@@ -483,7 +587,7 @@ func BenchmarkCorrelateFlowHit(b *testing.B) {
 }
 
 func BenchmarkCorrelateFlowParallel(b *testing.B) {
-	c := New(DefaultConfig(), nil)
+	c := New(DefaultConfig())
 	for i := 0; i < 1024; i++ {
 		c.IngestDNS(aRec(t0, fmt.Sprintf("d%d.example.com", i), fmt.Sprintf("198.51.%d.%d", i/256, i%256), 300))
 	}

@@ -16,7 +16,7 @@ import (
 // names.
 func TestQuickResolvedNamesWereIngested(t *testing.T) {
 	f := func(seed int64, nRecords uint8, nFlows uint8) bool {
-		c := New(DefaultConfig(), nil)
+		c := New(DefaultConfig())
 		r := newDetRand(seed)
 		ingested := map[string]bool{}
 		ips := make([]string, 0, nRecords)
@@ -54,7 +54,7 @@ func TestQuickResolvedNamesWereIngested(t *testing.T) {
 // and the chain histogram sums to Correlated.
 func TestQuickStatsInvariants(t *testing.T) {
 	f := func(seed int64, ops uint8) bool {
-		c := New(DefaultConfig(), nil)
+		c := New(DefaultConfig())
 		r := newDetRand(seed)
 		for i := 0; i < int(ops)+1; i++ {
 			switch r.next() % 4 {
@@ -95,7 +95,7 @@ func TestQuickStatsInvariants(t *testing.T) {
 func TestQuickExactTTLNeverMatchesExpired(t *testing.T) {
 	f := func(ttl uint16, lagSec uint16) bool {
 		cfg := ConfigForVariant(VariantExactTTL)
-		c := New(cfg, nil)
+		c := New(cfg)
 		c.IngestDNS(stream.DNSRecord{Timestamp: t0, Query: "q.example",
 			RType: dnswire.TypeA, TTL: uint32(ttl), Answer: "198.51.100.200"})
 		lag := time.Duration(lagSec) * time.Second

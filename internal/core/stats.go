@@ -76,6 +76,9 @@ type Stats struct {
 	Memoized uint64
 	Written  uint64
 
+	// MaxWriteDelayNs is the worst observed flow latency from LookUp-queue
+	// entry to the sink write (the paper's write-delay metric: "the delay
+	// to write the correlated data", bounded at 45 s in the deployment).
 	MaxWriteDelayNs int64
 
 	ChainHist [maxChainBucket]uint64 // CNAME hops taken per correlated flow

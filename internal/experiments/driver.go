@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -84,11 +85,12 @@ func (p SimParams) normalized() SimParams {
 // simulated hour.
 func RunSim(p SimParams) *SimResult {
 	p = p.normalized()
-	c := core.New(core.ConfigForVariant(p.Variant), p.Sink)
+	c := core.New(core.ConfigForVariant(p.Variant), core.WithSink(p.Sink))
 	g := workload.NewGenerator(p.Universe, p.Seed)
 	res := &SimResult{Variant: p.Variant}
 	cpu := metrics.NewCPUSampler()
 	var prev core.Stats
+	var batch []core.CorrelatedFlow
 	totalHours := p.Days * 24
 	for h := 0; h < totalHours; h++ {
 		hourStart := SimStart.Add(time.Duration(h) * time.Hour)
@@ -100,13 +102,22 @@ func RunSim(p SimParams) *SimResult {
 			for _, rec := range g.DNSBatch(ts, dnsThisHour/p.StepsPerHour) {
 				c.IngestDNS(rec)
 			}
-			for _, fr := range g.FlowBatch(ts, flowsThisHour/p.StepsPerHour) {
+			frs := g.FlowBatch(ts, flowsThisHour/p.StepsPerHour)
+			batch = batch[:0]
+			for _, fr := range frs {
 				cf := c.CorrelateFlow(fr)
 				if p.Sink != nil {
-					p.Sink.Write(cf)
+					batch = append(batch, cf)
 				}
 				if p.OnFlow != nil {
 					p.OnFlow(h, cf)
+				}
+			}
+			if p.Sink != nil && len(batch) > 0 {
+				if err := p.Sink.WriteBatch(context.Background(), batch); err != nil {
+					// Experiments must never report figures from silently
+					// truncated output.
+					panic(fmt.Sprintf("experiments: sink failed mid-simulation: %v", err))
 				}
 			}
 		}

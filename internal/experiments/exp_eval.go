@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
-
 	"time"
 
 	"repro/internal/core"
@@ -41,38 +41,50 @@ func init() {
 	})
 }
 
-// runCorr drives the full asynchronous pipeline (queues + workers, as
-// deployed) over one simulated day and reports the §4 headline metrics.
+// runCorr drives the full asynchronous pipeline (sources + queues +
+// workers, as deployed) over one simulated day and reports the §4 headline
+// metrics. The workload enters through the v2 Source/Ingest façade exactly
+// as the wire sources do.
 func runCorr(scale float64) *Result {
 	scale = clampScale(scale)
 	u := workload.NewUniverse(workload.DefaultConfig())
 	g := workload.NewGenerator(u, 11)
-	c := core.New(core.DefaultConfig(), nil)
-	c.Start()
-	steps := 6
-	for h := 0; h < 24; h++ {
-		hourStart := SimStart.Add(time.Duration(h) * time.Hour)
-		mult := workload.DiurnalMultiplier(float64(h))
-		dns := int(3000 * scale * mult)
-		flows := int(30000 * scale * mult)
-		for s := 0; s < steps; s++ {
-			ts := hourStart.Add(time.Duration(s) * time.Hour / time.Duration(steps))
-			for _, rec := range g.DNSBatch(ts, dns/steps) {
-				c.OfferDNS(rec)
-			}
-			// Let fills lead lookups within the step, as they do in a live
-			// deployment (the resolution precedes the flow by at least the
-			// client's connect latency; our step granularity is far coarser).
-			for c.DNSQueue().Len() > 0 {
-				time.Sleep(50 * time.Microsecond)
-			}
-			time.Sleep(200 * time.Microsecond)
-			for _, fr := range g.FlowBatch(ts, flows/steps) {
-				c.OfferFlow(fr)
+	var c *core.Correlator // assigned before Run starts the source
+	day := stream.SourceFunc(func(ctx context.Context, in stream.Ingest) error {
+		steps := 6
+		var sent uint64
+		for h := 0; h < 24; h++ {
+			hourStart := SimStart.Add(time.Duration(h) * time.Hour)
+			mult := workload.DiurnalMultiplier(float64(h))
+			dns := int(3000 * scale * mult)
+			flows := int(30000 * scale * mult)
+			for s := 0; s < steps; s++ {
+				if ctx.Err() != nil {
+					return nil
+				}
+				ts := hourStart.Add(time.Duration(s) * time.Hour / time.Duration(steps))
+				sent += uint64(in.OfferDNSBatch(g.DNSBatch(ts, dns/steps)))
+				// Let fills lead lookups within the step, as they do in a
+				// live deployment (the resolution precedes the flow by at
+				// least the client's connect latency; our step granularity
+				// is far coarser). Wait on the ingested counter, not queue
+				// depth: dequeued records may still be mid-ingest.
+				for {
+					st := c.Stats()
+					if st.DNSRecords+st.DNSInvalid >= sent {
+						break
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+				in.OfferFlowBatch(g.FlowBatch(ts, flows/steps))
 			}
 		}
+		return nil
+	})
+	c = core.New(core.DefaultConfig(), core.WithSources(day))
+	if err := c.Run(context.Background()); err != nil {
+		panic(fmt.Sprintf("corr: %v", err))
 	}
-	c.Stop()
 	st := c.Stats()
 	r := &Result{ID: "corr", Title: "Headline metrics over one simulated day (async pipeline)"}
 	r.addLine("correlation rate (bytes): %.4f", st.CorrelationRate())

@@ -158,7 +158,7 @@ func runFig5(scale float64) *Result {
 				c.IngestDNS(rec)
 			}
 			for _, fr := range g.FlowBatch(ts, flows/steps) {
-				sink.Write(c.CorrelateFlow(fr))
+				sink.Add(c.CorrelateFlow(fr))
 			}
 		}
 		// Guaranteed floor: a scale-proportional round-robin slice of the
@@ -176,7 +176,7 @@ func runFig5(scale float64) *Result {
 				c.IngestDNS(rec)
 			}
 			for _, fr := range fl {
-				sink.Write(c.CorrelateFlow(fr))
+				sink.Add(c.CorrelateFlow(fr))
 			}
 		}
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; wall-clock
+// throughput comparisons are meaningless under its instrumentation.
+const raceEnabled = true

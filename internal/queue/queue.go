@@ -13,6 +13,7 @@ package queue
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats is a point-in-time snapshot of a queue's counters.
@@ -80,6 +81,40 @@ func (q *Queue[T]) Offer(v T) bool {
 	}
 }
 
+// OfferBatch attempts a non-blocking enqueue of every record in vs and
+// returns the number accepted. Records that do not fit are dropped and
+// counted as loss, exactly as with per-record Offer, but the counter
+// updates are amortized to two atomic adds per call — the hot-path batching
+// the LookUp→Write handoff relies on.
+func (q *Queue[T]) OfferBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		q.dropped.Add(uint64(len(vs)))
+		return 0
+	}
+	accepted := 0
+	for i := range vs {
+		select {
+		case q.ch <- vs[i]:
+			accepted++
+		default:
+			// Buffer full right now; a consumer may free a slot before the
+			// next record, so keep trying the remaining ones.
+		}
+	}
+	if accepted > 0 {
+		q.enqueued.Add(uint64(accepted))
+	}
+	if d := len(vs) - accepted; d > 0 {
+		q.dropped.Add(uint64(d))
+	}
+	return accepted
+}
+
 // Put enqueues v, blocking until space is available. Used by offline replays
 // where back-pressure, not loss, is the desired behaviour. Put holds the
 // queue open against Close for its duration; do not Close a queue while a
@@ -104,6 +139,61 @@ func (q *Queue[T]) Take() (v T, ok bool) {
 		q.dequeued.Add(1)
 	}
 	return v, ok
+}
+
+// TakeBatch appends up to max records to buf and returns the extended
+// slice. It blocks until at least one record is available (or the queue is
+// closed and drained — the only case reporting ok == false). Having taken
+// one record it keeps appending records that are immediately available;
+// when fewer than max arrived and wait > 0, it lingers up to wait for
+// stragglers so consumers see larger batches under moderate load at a
+// bounded latency cost. wait <= 0 never waits beyond the first record.
+func (q *Queue[T]) TakeBatch(buf []T, max int, wait time.Duration) ([]T, bool) {
+	if max < 1 {
+		max = 1
+	}
+	v, ok := <-q.ch
+	if !ok {
+		return buf, false
+	}
+	buf = append(buf, v)
+	taken := 1
+	if wait <= 0 {
+		for taken < max {
+			select {
+			case v, ok := <-q.ch:
+				if !ok {
+					q.dequeued.Add(uint64(taken))
+					return buf, true
+				}
+				buf = append(buf, v)
+				taken++
+			default:
+				q.dequeued.Add(uint64(taken))
+				return buf, true
+			}
+		}
+		q.dequeued.Add(uint64(taken))
+		return buf, true
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for taken < max {
+		select {
+		case v, ok := <-q.ch:
+			if !ok {
+				q.dequeued.Add(uint64(taken))
+				return buf, true
+			}
+			buf = append(buf, v)
+			taken++
+		case <-timer.C:
+			q.dequeued.Add(uint64(taken))
+			return buf, true
+		}
+	}
+	q.dequeued.Add(uint64(taken))
+	return buf, true
 }
 
 // TryTake dequeues without blocking. ok is false if the queue is empty (or

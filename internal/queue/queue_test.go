@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestOfferTake(t *testing.T) {
@@ -179,6 +180,109 @@ func TestQuickCounterInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestOfferBatchAcceptsAndDrops(t *testing.T) {
+	q := New[int](4)
+	if got := q.OfferBatch([]int{1, 2, 3}); got != 3 {
+		t.Fatalf("accepted = %d", got)
+	}
+	// Only one slot left: the batch is partially accepted, rest dropped.
+	if got := q.OfferBatch([]int{4, 5, 6}); got != 1 {
+		t.Fatalf("accepted = %d, want 1", got)
+	}
+	st := q.Stats()
+	if st.Enqueued != 4 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := q.OfferBatch(nil); got != 0 {
+		t.Fatalf("empty batch accepted %d", got)
+	}
+	q.Close()
+	if got := q.OfferBatch([]int{7, 8}); got != 0 {
+		t.Fatalf("closed queue accepted %d", got)
+	}
+	if st := q.Stats(); st.Dropped != 4 {
+		t.Fatalf("post-close stats = %+v", st)
+	}
+}
+
+func TestTakeBatchDrainsAvailable(t *testing.T) {
+	q := New[int](16)
+	for i := 0; i < 5; i++ {
+		q.Put(i)
+	}
+	buf, ok := q.TakeBatch(nil, 3, 0)
+	if !ok || len(buf) != 3 || buf[0] != 0 || buf[2] != 2 {
+		t.Fatalf("batch = %v ok=%v", buf, ok)
+	}
+	// Fewer available than max: returns what is there without waiting.
+	buf, ok = q.TakeBatch(buf[:0], 10, 0)
+	if !ok || len(buf) != 2 {
+		t.Fatalf("batch = %v ok=%v", buf, ok)
+	}
+	if st := q.Stats(); st.Dequeued != 5 {
+		t.Fatalf("dequeued = %d", st.Dequeued)
+	}
+}
+
+func TestTakeBatchBlocksForFirst(t *testing.T) {
+	q := New[int](4)
+	done := make(chan []int, 1)
+	go func() {
+		buf, _ := q.TakeBatch(nil, 4, 0)
+		done <- buf
+	}()
+	time.Sleep(10 * time.Millisecond) // consumer is parked on an empty queue
+	q.Put(42)
+	select {
+	case buf := <-done:
+		if len(buf) != 1 || buf[0] != 42 {
+			t.Fatalf("batch = %v", buf)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("TakeBatch never woke up")
+	}
+}
+
+func TestTakeBatchWaitGathersStragglers(t *testing.T) {
+	q := New[int](16)
+	q.Put(1)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		q.Put(2)
+	}()
+	// With a generous wait the late second record joins the batch.
+	buf, ok := q.TakeBatch(nil, 2, time.Second)
+	if !ok || len(buf) != 2 {
+		t.Fatalf("batch = %v ok=%v", buf, ok)
+	}
+}
+
+func TestTakeBatchWaitBounded(t *testing.T) {
+	q := New[int](16)
+	q.Put(1)
+	start := time.Now()
+	buf, ok := q.TakeBatch(nil, 8, 20*time.Millisecond)
+	if !ok || len(buf) != 1 {
+		t.Fatalf("batch = %v ok=%v", buf, ok)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wait unbounded: %v", elapsed)
+	}
+}
+
+func TestTakeBatchClosedQueue(t *testing.T) {
+	q := New[int](4)
+	q.Put(1)
+	q.Close()
+	buf, ok := q.TakeBatch(nil, 4, 0)
+	if !ok || len(buf) != 1 {
+		t.Fatalf("drain batch = %v ok=%v", buf, ok)
+	}
+	if buf, ok := q.TakeBatch(buf[:0], 4, 0); ok || len(buf) != 0 {
+		t.Fatalf("closed+drained returned %v ok=%v", buf, ok)
 	}
 }
 

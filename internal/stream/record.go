@@ -12,8 +12,9 @@
 //   - DNSTCPSource / DNSTCPSink speak length-prefixed DNS messages over TCP
 //     (RFC 1035 §4.2.2 framing) and flatten responses into DNSRecords;
 //   - FlowUDPSource / FlowUDPSink speak NetFlow v5/v9 datagrams;
-//   - every source drains into a bounded queue.Queue whose drop counters
-//     are the paper's "loss on the streams".
+//   - every source feeds the pipeline through the Ingest façade, whose
+//     non-blocking offers surface the paper's "loss on the streams" as
+//     rejected records when a stage buffer overflows.
 package stream
 
 import (

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"net/netip"
 	"strings"
@@ -16,6 +17,24 @@ import (
 )
 
 func testTime() time.Time { return time.Unix(1653475200, 0) }
+
+// testIngest is a queue-backed Ingest for exercising sources without a
+// correlator.
+type testIngest struct {
+	dns  *queue.Queue[DNSRecord]
+	flow *queue.Queue[netflow.FlowRecord]
+}
+
+func newTestIngest(dnsCap, flowCap int) *testIngest {
+	return &testIngest{dns: queue.New[DNSRecord](dnsCap), flow: queue.New[netflow.FlowRecord](flowCap)}
+}
+
+func (t *testIngest) OfferDNS(rec DNSRecord) bool          { return t.dns.Offer(rec) }
+func (t *testIngest) OfferDNSBatch(recs []DNSRecord) int   { return t.dns.OfferBatch(recs) }
+func (t *testIngest) OfferFlow(fr netflow.FlowRecord) bool { return t.flow.Offer(fr) }
+func (t *testIngest) OfferFlowBatch(frs []netflow.FlowRecord) int {
+	return t.flow.OfferBatch(frs)
+}
 
 func responseAB(t *testing.T) *dnswire.Message {
 	t.Helper()
@@ -140,11 +159,11 @@ func TestReadFrameShort(t *testing.T) {
 
 func TestDNSTCPEndToEnd(t *testing.T) {
 	client, server := net.Pipe()
-	out := queue.New[DNSRecord](64)
-	src := NewDNSTCPSource(server, out)
+	in := newTestIngest(64, 64)
+	src := NewDNSTCPSource(server)
 	src.Clock = testTime
 	done := make(chan error, 1)
-	go func() { done <- src.Run() }()
+	go func() { done <- src.Run(context.Background(), in) }()
 
 	sink := NewDNSTCPSink(client)
 	const n = 10
@@ -158,24 +177,43 @@ func TestDNSTCPEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := src.Stats()
-	if st.Frames != n || st.Records != 2*n || st.DecodeError != 0 {
+	if st.Frames != n || st.Records != 2*n || st.DecodeError != 0 || st.Dropped != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if out.Len() != 2*n {
-		t.Fatalf("queued = %d, want %d", out.Len(), 2*n)
+	if in.dns.Len() != 2*n {
+		t.Fatalf("queued = %d, want %d", in.dns.Len(), 2*n)
 	}
-	rec, _ := out.Take()
+	rec, _ := in.dns.Take()
 	if rec.Timestamp != testTime() {
 		t.Fatalf("clock not applied: %v", rec.Timestamp)
 	}
 }
 
+func TestDNSTCPCancelStopsSource(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	in := newTestIngest(4, 4)
+	src := NewDNSTCPSource(server)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- src.Run(ctx, in) }()
+	cancel() // closes the conn, unblocking the read
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled source returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("source did not stop on cancellation")
+	}
+}
+
 func TestDNSTCPDecodeErrorCounted(t *testing.T) {
 	client, server := net.Pipe()
-	out := queue.New[DNSRecord](4)
-	src := NewDNSTCPSource(server, out)
+	in := newTestIngest(4, 4)
+	src := NewDNSTCPSource(server)
 	done := make(chan error, 1)
-	go func() { done <- src.Run() }()
+	go func() { done <- src.Run(context.Background(), in) }()
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -192,12 +230,12 @@ func TestDNSTCPDecodeErrorCounted(t *testing.T) {
 	}
 }
 
-func TestDNSTCPQueueOverflowDrops(t *testing.T) {
+func TestDNSTCPIngestOverflowDrops(t *testing.T) {
 	client, server := net.Pipe()
-	out := queue.New[DNSRecord](1) // tiny buffer: must drop
-	src := NewDNSTCPSource(server, out)
+	in := newTestIngest(1, 1) // tiny stage buffer: must drop
+	src := NewDNSTCPSource(server)
 	done := make(chan error, 1)
-	go func() { done <- src.Run() }()
+	go func() { done <- src.Run(context.Background(), in) }()
 	sink := NewDNSTCPSink(client)
 	for i := 0; i < 5; i++ {
 		if err := sink.Send(responseAB(t)); err != nil {
@@ -207,17 +245,20 @@ func TestDNSTCPQueueOverflowDrops(t *testing.T) {
 	client.Close()
 	<-done
 	st := src.Stats()
-	if st.Queue.Dropped == 0 {
+	if st.Dropped == 0 {
 		t.Fatalf("no drops recorded on overflow: %+v", st)
 	}
-	if st.Queue.Enqueued+st.Queue.Dropped != 10 {
-		t.Fatalf("accounting broken: %+v", st.Queue)
+	if st.Records != 10 {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	if qs := in.dns.Stats(); qs.Enqueued+qs.Dropped != 10 {
+		t.Fatalf("queue accounting broken: %+v", qs)
 	}
 }
 
 func TestFlowUDPIngestV5AndV9(t *testing.T) {
-	out := queue.New[netflow.FlowRecord](64)
-	src := &FlowUDPSource{out: out, cache: netflow.NewTemplateCache()}
+	in := newTestIngest(64, 64)
+	src := &FlowUDPSource{cache: netflow.NewTemplateCache()}
 
 	v5recs := []netflow.V5Record{{SrcAddr: [4]byte{10, 0, 0, 1}, DstAddr: [4]byte{10, 0, 0, 2},
 		Packets: 1, Octets: 100, Proto: netflow.ProtoTCP}}
@@ -225,7 +266,7 @@ func TestFlowUDPIngestV5AndV9(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src.ingest(pkt5)
+	src.ingest(pkt5, in)
 
 	fr := netflow.FlowRecord{
 		Timestamp: time.UnixMilli(1653475200500),
@@ -238,11 +279,11 @@ func TestFlowUDPIngestV5AndV9(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src.ingest(pkt9)
+	src.ingest(pkt9, in)
 
-	src.ingest([]byte{0, 3, 0, 0}) // unknown version
-	src.ingest([]byte{9})          // too short
-	src.ingest(make([]byte, 24))   // version 0
+	src.ingest([]byte{0, 3, 0, 0}, in) // unknown version
+	src.ingest([]byte{9}, in)          // too short
+	src.ingest(make([]byte, 24), in)   // version 0
 
 	st := src.Stats()
 	if st.Records != 2 {
@@ -251,11 +292,11 @@ func TestFlowUDPIngestV5AndV9(t *testing.T) {
 	if st.DecodeError != 3 {
 		t.Fatalf("decode errors = %d", st.DecodeError)
 	}
-	r1, _ := out.Take()
+	r1, _ := in.flow.Take()
 	if r1.SrcIP != netip.MustParseAddr("10.0.0.1") || r1.Bytes != 100 {
 		t.Fatalf("v5 record = %+v", r1)
 	}
-	r2, _ := out.Take()
+	r2, _ := in.flow.Take()
 	if r2.SrcIP != fr.SrcIP || r2.Bytes != fr.Bytes {
 		t.Fatalf("v9 record = %+v", r2)
 	}
@@ -266,10 +307,12 @@ func TestFlowUDPEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := queue.New[netflow.FlowRecord](256)
-	src := NewFlowUDPSource(lc, out)
+	in := newTestIngest(256, 256)
+	src := NewFlowUDPSource(lc)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	done := make(chan error, 1)
-	go func() { done <- src.Run() }()
+	go func() { done <- src.Run(ctx, in) }()
 
 	conn, err := net.Dial("udp", lc.LocalAddr().String())
 	if err != nil {
@@ -294,7 +337,7 @@ func TestFlowUDPEndToEnd(t *testing.T) {
 	}
 	deadline := time.After(5 * time.Second)
 	for got := 0; got < n; {
-		if _, ok := out.TryTake(); ok {
+		if _, ok := in.flow.TryTake(); ok {
 			got++
 			continue
 		}
@@ -304,11 +347,104 @@ func TestFlowUDPEndToEnd(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	lc.Close()
+	cancel() // closes the socket and stops the source
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
+}
+
+func TestDNSListenerMultipleStreams(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := newTestIngest(256, 256)
+	src := NewDNSListener(ln)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- src.Run(ctx, in) }()
+
+	// Two concurrent DNS streams into one listener, as at the paper's
+	// large ISP.
+	const perStream = 5
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			sink := NewDNSTCPSink(conn)
+			for i := 0; i < perStream; i++ {
+				if err := sink.Send(responseAB(t)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.After(5 * time.Second)
+	for in.dns.Len() < 2*2*perStream {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d records arrived", in.dns.Len())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := src.Stats(); st.Frames != 2*perStream || st.Records != 2*2*perStream {
+		t.Fatalf("aggregated stats = %+v", st)
+	}
+}
+
+func TestFileSources(t *testing.T) {
+	var dnsBuf, flowBuf bytes.Buffer
+	dw := NewDNSFileWriter(&dnsBuf)
+	for i := 0; i < 3; i++ {
+		if err := dw.Write(DNSRecord{Timestamp: testTime(), Query: "q.example",
+			RType: dnswire.TypeA, TTL: 60, Answer: "192.0.2.1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dw.Flush()
+	fw := NewFlowFileWriter(&flowBuf)
+	for i := 0; i < 4; i++ {
+		if err := fw.Write(netflow.FlowRecord{Timestamp: testTime(),
+			SrcIP: netip.MustParseAddr("192.0.2.1"), DstIP: netip.MustParseAddr("10.0.0.1"),
+			Packets: 1, Bytes: 100, Proto: netflow.ProtoTCP}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw.Flush()
+
+	in := newTestIngest(16, 16)
+	ds := NewDNSFileSource(&dnsBuf)
+	if err := ds.Run(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	if in.dns.Len() != 3 || ds.Stats().Records != 3 {
+		t.Fatalf("dns file source: queued=%d stats=%+v", in.dns.Len(), ds.Stats())
+	}
+	fs := NewFlowFileSource(&flowBuf)
+	if err := fs.Run(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	if in.flow.Len() != 4 || fs.Stats().Records != 4 {
+		t.Fatalf("flow file source: queued=%d stats=%+v", in.flow.Len(), fs.Stats())
+	}
+	// A malformed capture is a source error.
+	if err := NewDNSFileSource(strings.NewReader("not\ta\tcapture\n")).Run(context.Background(), in); err == nil {
+		t.Fatal("malformed capture accepted")
+	}
 }
 
 func TestAddrKey(t *testing.T) {
@@ -324,8 +460,8 @@ func TestAddrKey(t *testing.T) {
 }
 
 func TestFlowUDPIngestIPFIX(t *testing.T) {
-	out := queue.New[netflow.FlowRecord](16)
-	src := NewFlowUDPSource(nil, out)
+	in := newTestIngest(16, 16)
+	src := NewFlowUDPSource(nil)
 	fr := netflow.FlowRecord{
 		Timestamp: time.UnixMilli(1653475200999),
 		SrcIP:     netip.MustParseAddr("198.51.100.77"),
@@ -338,12 +474,12 @@ func TestFlowUDPIngestIPFIX(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src.ingest(pkt)
+	src.ingest(pkt, in)
 	st := src.Stats()
 	if st.Records != 1 || st.DecodeError != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
-	got, _ := out.Take()
+	got, _ := in.flow.Take()
 	if got.SrcIP != fr.SrcIP || got.Bytes != fr.Bytes || !got.Timestamp.Equal(fr.Timestamp) {
 		t.Fatalf("ipfix record = %+v", got)
 	}
@@ -353,7 +489,7 @@ func TestFlowUDPIngestIPFIX(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src.ingest(pkt2)
+	src.ingest(pkt2, in)
 	if st := src.Stats(); st.Records != 2 {
 		t.Fatalf("cached ipfix decode failed: %+v", st)
 	}
@@ -363,10 +499,10 @@ func TestDNSTCPFragmentedFrames(t *testing.T) {
 	// A slow sender dribbles the frame header and body across separate
 	// writes; ReadFrame must reassemble via io.ReadFull.
 	client, server := net.Pipe()
-	out := queue.New[DNSRecord](16)
-	src := NewDNSTCPSource(server, out)
+	in := newTestIngest(16, 16)
+	src := NewDNSTCPSource(server)
 	done := make(chan error, 1)
-	go func() { done <- src.Run() }()
+	go func() { done <- src.Run(context.Background(), in) }()
 
 	wire, err := dnswire.Encode(responseAB(t))
 	if err != nil {

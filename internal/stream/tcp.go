@@ -1,16 +1,15 @@
 package stream
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/dnswire"
-	"repro/internal/queue"
 )
 
 // ErrMessageTooLarge is returned when a length-prefixed frame exceeds the
@@ -50,70 +49,57 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// SourceStats aggregates what a stream source observed.
-type SourceStats struct {
-	Frames      uint64 // frames or datagrams read off the wire
-	DecodeError uint64 // frames that failed to decode
-	Records     uint64 // records flattened out of decoded frames
-	Queue       queue.Stats
-}
-
 // DNSTCPSource reads framed DNS responses from a TCP connection, flattens
-// them, and offers the records to out. Records that do not fit (queue full)
-// are dropped and counted — the paper's stream-buffer loss.
+// them, and offers the records through the ingest façade. Records the
+// façade rejects (stage buffer full) are dropped and counted — the paper's
+// stream-buffer loss.
 type DNSTCPSource struct {
 	conn net.Conn
-	out  *queue.Queue[DNSRecord]
 	// Clock assigns receive timestamps; tests and replays inject their own.
 	Clock func() time.Time
 
-	frames      atomic.Uint64
-	decodeError atomic.Uint64
-	records     atomic.Uint64
+	// counts may be shared with a DNSListener aggregating several streams.
+	counts *sourceCounters
 }
 
-// NewDNSTCPSource wraps conn; records land in out.
-func NewDNSTCPSource(conn net.Conn, out *queue.Queue[DNSRecord]) *DNSTCPSource {
-	return &DNSTCPSource{conn: conn, out: out, Clock: time.Now}
+// NewDNSTCPSource wraps conn.
+func NewDNSTCPSource(conn net.Conn) *DNSTCPSource {
+	return &DNSTCPSource{conn: conn, Clock: time.Now, counts: &sourceCounters{}}
 }
 
-// Run reads until the connection closes or errors. io.EOF is a clean end and
-// returns nil. Run does not close the output queue: several sources may
-// share one queue (the paper runs 2 DNS streams at the large ISP).
-func (s *DNSTCPSource) Run() error {
+// Run reads until ctx is cancelled or the connection closes. io.EOF and
+// cancellation are clean ends and return nil. Each decoded response is
+// offered as one batch (its flattened records share a receive timestamp).
+// Run owns the connection and closes it on every exit path.
+func (s *DNSTCPSource) Run(ctx context.Context, in Ingest) error {
+	defer s.conn.Close()
+	defer closeOnDone(ctx, func() { s.conn.Close() })()
 	buf := make([]byte, 0, 4096)
 	for {
 		frame, err := ReadFrame(s.conn, buf)
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			if ignoreClosed(ctx, err) == nil {
 				return nil
 			}
 			return fmt.Errorf("stream: dns tcp read: %w", err)
 		}
 		buf = frame[:0]
-		s.frames.Add(1)
+		s.counts.frames.Add(1)
 		msg, err := dnswire.Decode(frame)
 		if err != nil {
-			s.decodeError.Add(1)
+			s.counts.decodeError.Add(1)
 			continue
 		}
-		ts := s.Clock()
-		for _, rec := range FlattenResponse(msg, ts) {
-			s.records.Add(1)
-			s.out.Offer(rec)
+		if recs := FlattenResponse(msg, s.Clock()); len(recs) > 0 {
+			accepted := in.OfferDNSBatch(recs)
+			s.counts.records.Add(uint64(len(recs)))
+			s.counts.dropped.Add(uint64(len(recs) - accepted))
 		}
 	}
 }
 
 // Stats snapshots the source counters.
-func (s *DNSTCPSource) Stats() SourceStats {
-	return SourceStats{
-		Frames:      s.frames.Load(),
-		DecodeError: s.decodeError.Load(),
-		Records:     s.records.Load(),
-		Queue:       s.out.Stats(),
-	}
-}
+func (s *DNSTCPSource) Stats() SourceStats { return s.counts.snapshot() }
 
 // DNSTCPSink writes DNS messages as length-prefixed frames; the emitter side
 // used by the workload generator and the live-pipeline example.

@@ -1,113 +1,104 @@
 package stream
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"net"
-	"sync/atomic"
 
 	"repro/internal/ipfix"
 	"repro/internal/netflow"
-	"repro/internal/queue"
 )
 
 // FlowUDPSource reads flow export datagrams — NetFlow v5, NetFlow v9, or
 // IPFIX, distinguished by the version word (5/9/10) — from a packet
-// connection and offers the decoded flow records to out. The paper names
-// both NetFlow and IPFIX as the flow formats ISPs export.
+// connection and offers the decoded flow records through the ingest
+// façade, one batch per datagram. The paper names both NetFlow and IPFIX
+// as the flow formats ISPs export.
 type FlowUDPSource struct {
 	conn       net.PacketConn
-	out        *queue.Queue[netflow.FlowRecord]
 	cache      *netflow.TemplateCache
 	ipfixCache *ipfix.Cache
 
-	datagrams   atomic.Uint64
-	decodeError atomic.Uint64
-	records     atomic.Uint64
+	counts sourceCounters
 }
 
 // NewFlowUDPSource wraps conn. Fresh template caches (v9 and IPFIX) are
 // created per source, matching one cache per collector socket.
-func NewFlowUDPSource(conn net.PacketConn, out *queue.Queue[netflow.FlowRecord]) *FlowUDPSource {
+func NewFlowUDPSource(conn net.PacketConn) *FlowUDPSource {
 	return &FlowUDPSource{
 		conn:       conn,
-		out:        out,
 		cache:      netflow.NewTemplateCache(),
 		ipfixCache: ipfix.NewCache(),
 	}
 }
 
-// Run reads datagrams until the connection is closed. A closed connection
-// returns nil; other errors are returned.
-func (s *FlowUDPSource) Run() error {
+// Run reads datagrams until ctx is cancelled or the connection is closed
+// (both return nil); other errors are returned. Run owns the socket and
+// closes it on every exit path.
+func (s *FlowUDPSource) Run(ctx context.Context, in Ingest) error {
+	defer s.conn.Close()
+	defer closeOnDone(ctx, func() { s.conn.Close() })()
 	buf := make([]byte, 65535)
 	for {
 		n, _, err := s.conn.ReadFrom(buf)
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
+			if ignoreClosed(ctx, err) == nil {
 				return nil
 			}
 			return fmt.Errorf("stream: netflow udp read: %w", err)
 		}
-		s.datagrams.Add(1)
-		s.ingest(buf[:n])
+		s.counts.frames.Add(1)
+		s.ingest(buf[:n], in)
 	}
 }
 
-// ingest decodes one datagram and offers its records; split out so tests
-// and in-process pipelines can bypass the socket.
-func (s *FlowUDPSource) ingest(pkt []byte) {
+// ingest decodes one datagram and offers its records as one batch; split
+// out so tests and in-process pipelines can bypass the socket.
+func (s *FlowUDPSource) ingest(pkt []byte, in Ingest) {
 	if len(pkt) < 2 {
-		s.decodeError.Add(1)
+		s.counts.decodeError.Add(1)
 		return
 	}
+	var recs []netflow.FlowRecord
 	version := uint16(pkt[0])<<8 | uint16(pkt[1])
 	switch version {
 	case 5:
-		hdr, recs, err := netflow.DecodeV5(pkt)
+		hdr, v5recs, err := netflow.DecodeV5(pkt)
 		if err != nil {
-			s.decodeError.Add(1)
+			s.counts.decodeError.Add(1)
 			return
 		}
-		for i := range recs {
-			fr := recs[i].ToFlowRecord(hdr)
-			s.records.Add(1)
-			s.out.Offer(fr)
+		recs = make([]netflow.FlowRecord, len(v5recs))
+		for i := range v5recs {
+			recs[i] = v5recs[i].ToFlowRecord(hdr)
 		}
 	case 9:
 		p, err := netflow.DecodeV9(pkt, s.cache)
 		if err != nil {
-			s.decodeError.Add(1)
+			s.counts.decodeError.Add(1)
 			return
 		}
-		for _, fr := range p.Records {
-			s.records.Add(1)
-			s.out.Offer(fr)
-		}
+		recs = p.Records
 	case 10:
 		m, err := ipfix.Decode(pkt, s.ipfixCache)
 		if err != nil {
-			s.decodeError.Add(1)
+			s.counts.decodeError.Add(1)
 			return
 		}
-		for _, fr := range m.Records {
-			s.records.Add(1)
-			s.out.Offer(fr)
-		}
+		recs = m.Records
 	default:
-		s.decodeError.Add(1)
+		s.counts.decodeError.Add(1)
+		return
+	}
+	if len(recs) > 0 {
+		accepted := in.OfferFlowBatch(recs)
+		s.counts.records.Add(uint64(len(recs)))
+		s.counts.dropped.Add(uint64(len(recs) - accepted))
 	}
 }
 
 // Stats snapshots the source counters.
-func (s *FlowUDPSource) Stats() SourceStats {
-	return SourceStats{
-		Frames:      s.datagrams.Load(),
-		DecodeError: s.decodeError.Load(),
-		Records:     s.records.Load(),
-		Queue:       s.out.Stats(),
-	}
-}
+func (s *FlowUDPSource) Stats() SourceStats { return s.counts.snapshot() }
 
 // FlowUDPSink batches flow records into NetFlow datagrams and writes them to
 // a PacketConn — the exporter side used by the workload generator.

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Source drives a synthetic Generator through the pipeline's ingest
+// façade — the in-process equivalent of pointing cmd/flowgen at the wire
+// listeners, without sockets. Each step advances the simulated record
+// clock, emits the step's DNS batch first (resolution precedes traffic),
+// then the flow batch. It implements stream.Source.
+type Source struct {
+	// Gen produces the records; required.
+	Gen *Generator
+	// Start anchors the simulated record clock.
+	Start time.Time
+	// Steps is how many emission rounds to run.
+	Steps int
+	// StepLength advances the record clock per step (default 1s).
+	StepLength time.Duration
+	// DNSPerStep and FlowsPerStep size each round.
+	DNSPerStep   int
+	FlowsPerStep int
+	// Pace, when positive, sleeps between steps so the emission consumes
+	// wall-clock time like a live feed; zero emits as fast as possible.
+	Pace time.Duration
+	// Diurnal scales both rates by the paper's diurnal curve, mapping the
+	// whole run onto one simulated day.
+	Diurnal bool
+}
+
+// Run emits every step or stops early on cancellation, returning nil in
+// both cases (a generator cannot fail).
+func (s *Source) Run(ctx context.Context, in stream.Ingest) error {
+	step := s.StepLength
+	if step <= 0 {
+		step = time.Second
+	}
+	for i := 0; i < s.Steps; i++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		ts := s.Start.Add(time.Duration(i) * step)
+		mult := 1.0
+		if s.Diurnal {
+			mult = DiurnalMultiplier(24 * float64(i) / float64(s.Steps))
+		}
+		if n := int(float64(s.DNSPerStep) * mult); n > 0 {
+			in.OfferDNSBatch(s.Gen.DNSBatch(ts, n))
+		}
+		if n := int(float64(s.FlowsPerStep) * mult); n > 0 {
+			in.OfferFlowBatch(s.Gen.FlowBatch(ts, n))
+		}
+		if s.Pace > 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(s.Pace):
+			}
+		}
+	}
+	return nil
+}

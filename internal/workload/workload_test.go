@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"net/netip"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/dnsname"
 	"repro/internal/dnswire"
 	"repro/internal/netflow"
+	"repro/internal/stream"
 )
 
 var simStart = time.Unix(1653475200, 0)
@@ -467,5 +469,49 @@ func TestBadServicesKeptOutOfPopularityHead(t *testing.T) {
 		if svc.Malformed || svc.Category != 0 {
 			t.Fatalf("rank %d is a bad service (%q)", rank, svc.Name)
 		}
+	}
+}
+
+// countIngest tallies offered records for generator-source tests.
+type countIngest struct {
+	dns, flows int
+}
+
+func (c *countIngest) OfferDNS(stream.DNSRecord) bool { c.dns++; return true }
+func (c *countIngest) OfferDNSBatch(recs []stream.DNSRecord) int {
+	c.dns += len(recs)
+	return len(recs)
+}
+func (c *countIngest) OfferFlow(netflow.FlowRecord) bool { c.flows++; return true }
+func (c *countIngest) OfferFlowBatch(frs []netflow.FlowRecord) int {
+	c.flows += len(frs)
+	return len(frs)
+}
+
+func TestGeneratorSourceEmitsSteps(t *testing.T) {
+	u := smallUniverse(t)
+	src := &Source{
+		Gen:   NewGenerator(u, 3),
+		Start: simStart,
+		Steps: 10, DNSPerStep: 5, FlowsPerStep: 50,
+	}
+	var in countIngest
+	if err := src.Run(context.Background(), &in); err != nil {
+		t.Fatal(err)
+	}
+	// DNSBatch flattens query events into >=1 records each, so the DNS
+	// count is a floor; flows are exact.
+	if in.dns < 10*5 || in.flows != 10*50 {
+		t.Fatalf("emitted dns=%d flows=%d", in.dns, in.flows)
+	}
+	// A cancelled context stops the source immediately and cleanly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := in.flows
+	if err := src.Run(ctx, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in.flows != before {
+		t.Fatal("cancelled source kept emitting")
 	}
 }
