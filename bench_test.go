@@ -244,6 +244,103 @@ func BenchmarkPipelineBatchedWrites(b *testing.B) {
 		})
 	}
 }
+// BenchmarkCorrelate measures the LookUp hot path in isolation: the cost of
+// resolving one flow against a populated IP-NAME store (Algorithm 2), serial
+// and under full multi-core contention. The parallel variant is the number
+// the sharded-lane design targets: with lanes aligned to the store layout,
+// concurrent LookUp workers touch disjoint shard slices and scale with
+// cores instead of serializing on shared generations.
+func BenchmarkCorrelate(b *testing.B) {
+	const services = 4096
+	t0 := time.Unix(1653475200, 0)
+	mkFlows := func() []netflow.FlowRecord {
+		flows := make([]netflow.FlowRecord, services)
+		for i := range flows {
+			flows[i] = netflow.FlowRecord{
+				Timestamp: t0,
+				SrcIP:     netip.AddrFrom4([4]byte{198, 51, byte(i / 250), byte(i%250 + 1)}),
+				DstIP:     netip.AddrFrom4([4]byte{203, 0, byte(i / 250), byte(i%250 + 1)}),
+				SrcPort:   443, DstPort: 50000, Proto: netflow.ProtoTCP,
+				Packets: 10, Bytes: 1500,
+			}
+		}
+		return flows
+	}
+	fill := func(c *core.Correlator) {
+		for i := 0; i < services; i++ {
+			c.IngestDNS(benchDNSRecord(t0, i))
+		}
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		c := core.New(core.DefaultConfig())
+		fill(c)
+		flows := mkFlows()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cf := c.CorrelateFlow(flows[i%services])
+			if !cf.Correlated() {
+				b.Fatal("expected hit")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		c := core.New(core.DefaultConfig())
+		fill(c)
+		flows := mkFlows()
+		for i := range flows {
+			flows[i].SrcIP = netip.AddrFrom4([4]byte{192, 0, 2, byte(i%250 + 1)})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.CorrelateFlow(flows[i%services])
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		c := core.New(core.DefaultConfig())
+		fill(c)
+		flows := mkFlows()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				c.CorrelateFlow(flows[i%services])
+				i++
+			}
+		})
+	})
+	// The lane-worker path at the acceptance configuration: 8 lanes,
+	// batch lookups with amortized stats, as the sharded pipeline runs it.
+	b.Run("parallel/lanes=8", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Lanes = 8
+		c := core.New(cfg)
+		fill(c)
+		flows := mkFlows()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			in := make([]netflow.FlowRecord, 0, 128)
+			out := make([]core.CorrelatedFlow, 0, 128)
+			for pb.Next() {
+				in = append(in, flows[i%services])
+				i++
+				if len(in) == cap(in) {
+					out = c.CorrelateBatch(out[:0], in)
+					in = in[:0]
+				}
+			}
+			if len(in) > 0 {
+				c.CorrelateBatch(out[:0], in)
+			}
+		})
+	})
+}
+
 func BenchmarkTable1Config(b *testing.B) {
 	runExperiment(b, "table1", benchScaleLight,
 		[]string{"a_clear_up_seconds", "c_clear_up_seconds", "num_split", "chain_limit"})

@@ -46,8 +46,9 @@ func main() {
 		out           = flag.String("out", "-", "output file for correlated flows ('-' = stdout)")
 		sinkName      = flag.String("sink", "tsv", "output sink: "+strings.Join(core.SinkNames(), ", "))
 		variant       = flag.String("variant", "Main", "benchmark variant: Main, NoSplit, NoClearUp, NoRotation, NoLong, ExactTTL")
+		lanes         = flag.Int("lanes", 0, "correlation lanes (flows partitioned by dst IP; 0 = one lane per split)")
 		fillWorkers   = flag.Int("fillup-workers", 4, "FillUp workers")
-		lookWorkers   = flag.Int("lookup-workers", 8, "LookUp workers")
+		lookWorkers   = flag.Int("lookup-workers", core.DefaultNumSplit, "LookUp workers (distributed across lanes, min one per lane)")
 		writeWorkers  = flag.Int("write-workers", 2, "Write workers")
 		batchSize     = flag.Int("batch-size", core.DefaultWriteBatchSize, "correlated flows per sink WriteBatch call")
 		flushEvery    = flag.Duration("flush-interval", core.DefaultWriteFlushInterval, "max wait for a write batch to fill")
@@ -66,7 +67,7 @@ func main() {
 	}
 
 	cfg, outputs := loadConfig(*configPath, configFlags{
-		variant: *variant, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
+		variant: *variant, lanes: *lanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
 		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery,
 		dnsListen: dnsListen, netflowListen: netflowListen,
 		out: *out, sink: *sinkName, skipMisses: *skipMisses,
@@ -106,7 +107,8 @@ func main() {
 		core.WithSources(sources...),
 		core.WithMetrics(*statsInterval, logStats),
 	)
-	log.Printf("flowdns: running (variant=%s, sink=%s, batch=%d)", *variant, *sinkName, cfg.WriteBatchSize)
+	log.Printf("flowdns: running (variant=%s, lanes=%d, sink=%s, batch=%d)",
+		*variant, c.Lanes(), *sinkName, cfg.WriteBatchSize)
 	if err := c.Run(ctx); err != nil {
 		log.Fatalf("flowdns: %v", err)
 	}
@@ -116,6 +118,7 @@ func main() {
 // configFlags carries the flag values that a -config file overrides.
 type configFlags struct {
 	variant                  string
+	lanes                    int
 	fillWorkers, lookWorkers int
 	writeWorkers, batchSize  int
 	flushEvery               time.Duration
@@ -129,6 +132,7 @@ type configFlags struct {
 func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig) {
 	if path == "" {
 		cfg := core.ConfigForVariant(core.Variant(f.variant))
+		cfg.Lanes = f.lanes
 		cfg.FillUpWorkers = f.fillWorkers
 		cfg.LookUpWorkers = f.lookWorkers
 		cfg.WriteWorkers = f.writeWorkers

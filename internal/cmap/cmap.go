@@ -12,6 +12,7 @@ package cmap
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultShardCount is the number of shards used by New. 32 matches the
@@ -26,6 +27,14 @@ const DefaultShardCount = 32
 type Map struct {
 	shards []*shard
 	mask   uint32 // len(shards)-1 when power of two; otherwise 0 and mod is used
+
+	// count tracks the total number of entries. It is updated while the
+	// owning shard's lock is held but read without any lock by Empty; a
+	// reader racing a concurrent insert may briefly observe the
+	// pre-insert value, which callers using Empty as a probe-skipping
+	// fast path must tolerate (the probe they skip would have raced the
+	// same insert anyway).
+	count atomic.Int64
 }
 
 type shard struct {
@@ -52,9 +61,10 @@ func NewWithShards(n int) *Map {
 	return m
 }
 
-// fnv32 is the 32-bit FNV-1a hash, inlined to avoid the hash/fnv allocation
-// of a hash.Hash32 per call.
-func fnv32(key string) uint32 {
+// fnv32 is the 32-bit FNV-1a hash, inlined to avoid the hash/fnv
+// allocation of a hash.Hash32 per call. One generic body serves string
+// and byte-slice keys, so the two forms can never drift apart.
+func fnv32[T ~string | ~[]byte](key T) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -67,8 +77,28 @@ func fnv32(key string) uint32 {
 	return h
 }
 
+// Hash returns the hash this map family uses for shard selection. Callers
+// that address several maps with the same key (the correlator's
+// active/inactive/long generations) compute it once and pass it to the
+// *Hash method variants, paying for one hash instead of one per probe.
+func Hash(key string) uint32 { return fnv32(key) }
+
+// HashBytes is Hash for a byte-slice key. It never retains key and returns
+// the same value Hash returns for the equivalent string, so byte-keyed
+// lookups find entries stored with string keys.
+func HashBytes(key []byte) uint32 { return fnv32(key) }
+
 func (m *Map) shardFor(key string) *shard {
-	h := fnv32(key)
+	return m.shardForHash(fnv32(key))
+}
+
+func (m *Map) shardForHash(h uint32) *shard {
+	// Fold the high bits in before masking: callers above (the
+	// correlator's store) carve lane and split indices out of the low
+	// bits of this same hash, so every key reaching one map shares those
+	// low bits. Without the fold a map in an 8-lane store would use only
+	// gcd(8,32)⁻¹ of its shards.
+	h ^= h >> 16
 	if m.mask != 0 || len(m.shards) == 1 {
 		return m.shards[h&m.mask]
 	}
@@ -76,10 +106,32 @@ func (m *Map) shardFor(key string) *shard {
 }
 
 // Set stores value under key, replacing any previous value.
-func (m *Map) Set(key, value string) {
-	s := m.shardFor(key)
+func (m *Map) Set(key, value string) { m.SetHash(fnv32(key), key, value) }
+
+// SetHash is Set with a caller-supplied Hash(key), sparing the recompute
+// when the caller already hashed the key for split or lane selection.
+func (m *Map) SetHash(h uint32, key, value string) {
+	s := m.shardForHash(h)
 	s.mu.Lock()
+	before := len(s.m)
 	s.m[key] = value
+	if len(s.m) != before {
+		m.count.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// SetBytesHash stores value under the string form of key. The key bytes are
+// copied into a fresh string only when the entry is inserted or replaced —
+// the unavoidable allocation of storing a new key — never borrowed.
+func (m *Map) SetBytesHash(h uint32, key []byte, value string) {
+	s := m.shardForHash(h)
+	s.mu.Lock()
+	before := len(s.m)
+	s.m[string(key)] = value
+	if len(s.m) != before {
+		m.count.Add(1)
+	}
 	s.mu.Unlock()
 }
 
@@ -91,6 +143,7 @@ func (m *Map) SetIfAbsent(key, value string) bool {
 	_, ok := s.m[key]
 	if !ok {
 		s.m[key] = value
+		m.count.Add(1)
 	}
 	s.mu.Unlock()
 	return !ok
@@ -98,12 +151,40 @@ func (m *Map) SetIfAbsent(key, value string) bool {
 
 // Get returns the value stored under key and whether it was present.
 func (m *Map) Get(key string) (string, bool) {
-	s := m.shardFor(key)
+	return m.GetHash(fnv32(key), key)
+}
+
+// GetHash is Get with a caller-supplied Hash(key).
+func (m *Map) GetHash(h uint32, key string) (string, bool) {
+	s := m.shardForHash(h)
 	s.mu.RLock()
 	v, ok := s.m[key]
 	s.mu.RUnlock()
 	return v, ok
 }
+
+// GetBytes looks key up without converting it to a string: the compiler's
+// map-index-by-converted-byte-slice optimization makes the probe
+// allocation-free, which is what keeps the correlator's LookUp hit path at
+// zero allocations per flow.
+func (m *Map) GetBytes(key []byte) (string, bool) {
+	return m.GetBytesHash(HashBytes(key), key)
+}
+
+// GetBytesHash is GetBytes with a caller-supplied HashBytes(key).
+func (m *Map) GetBytesHash(h uint32, key []byte) (string, bool) {
+	s := m.shardForHash(h)
+	s.mu.RLock()
+	v, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Empty reports whether the map holds no entries, without taking any lock.
+// It is a fast path for skipping probes of drained generations; a reader
+// racing a concurrent insert may see true until the insert's count update
+// lands, exactly as a probe racing that insert could miss the entry.
+func (m *Map) Empty() bool { return m.count.Load() == 0 }
 
 // Has reports whether key is present.
 func (m *Map) Has(key string) bool {
@@ -117,6 +198,9 @@ func (m *Map) Remove(key string) bool {
 	s.mu.Lock()
 	_, ok := s.m[key]
 	delete(s.m, key)
+	if ok {
+		m.count.Add(-1)
+	}
 	s.mu.Unlock()
 	return ok
 }
@@ -139,6 +223,7 @@ func (m *Map) Len() int {
 func (m *Map) Clear() {
 	for _, s := range m.shards {
 		s.mu.Lock()
+		m.count.Add(-int64(len(s.m)))
 		s.m = make(map[string]string)
 		s.mu.Unlock()
 	}
@@ -183,12 +268,15 @@ func (m *Map) RemoveIf(pred func(key, value string) bool) int {
 	removed := 0
 	for _, s := range m.shards {
 		s.mu.Lock()
+		shardRemoved := 0
 		for k, v := range s.m {
 			if pred(k, v) {
 				delete(s.m, k)
-				removed++
+				shardRemoved++
 			}
 		}
+		m.count.Add(-int64(shardRemoved))
+		removed += shardRemoved
 		s.mu.Unlock()
 	}
 	return removed
@@ -212,6 +300,8 @@ func (m *Map) Snapshot(dst *Map) {
 			d := dst.shards[i]
 			s.mu.Lock()
 			d.mu.Lock()
+			dst.count.Add(int64(len(s.m) - len(d.m)))
+			m.count.Add(-int64(len(s.m)))
 			d.m = s.m
 			s.m = make(map[string]string)
 			d.mu.Unlock()
@@ -225,6 +315,7 @@ func (m *Map) Snapshot(dst *Map) {
 		for k, v := range s.m {
 			dst.Set(k, v)
 		}
+		m.count.Add(-int64(len(s.m)))
 		s.m = make(map[string]string)
 		s.mu.Unlock()
 	}

@@ -323,3 +323,105 @@ func BenchmarkGetParallel(b *testing.B) {
 		}
 	})
 }
+
+func TestGetBytesFindsStringKeys(t *testing.T) {
+	m := NewWithShards(8)
+	m.Set("198.51.100.7", "cdn.example")
+	if v, ok := m.GetBytes([]byte("198.51.100.7")); !ok || v != "cdn.example" {
+		t.Fatalf("GetBytes = %q, %v", v, ok)
+	}
+	if _, ok := m.GetBytes([]byte("198.51.100.8")); ok {
+		t.Fatal("GetBytes found absent key")
+	}
+	// Hash equivalence: byte and string forms must agree, or shard
+	// selection would diverge between fills and lookups.
+	if Hash("198.51.100.7") != HashBytes([]byte("198.51.100.7")) {
+		t.Fatal("Hash and HashBytes disagree")
+	}
+}
+
+func TestSetBytesHashRoundTrip(t *testing.T) {
+	m := NewWithShards(8)
+	key := []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 198, 51, 100, 7}
+	h := HashBytes(key)
+	m.SetBytesHash(h, key, "svc.example")
+	if v, ok := m.GetBytesHash(h, key); !ok || v != "svc.example" {
+		t.Fatalf("GetBytesHash = %q, %v", v, ok)
+	}
+	// The map must have copied the key: mutating the caller's buffer must
+	// not corrupt the stored entry.
+	key[15] = 9
+	h2 := HashBytes(key)
+	if _, ok := m.GetBytesHash(h2, key); ok {
+		t.Fatal("mutated key still matches")
+	}
+	key[15] = 7
+	if v, ok := m.GetBytesHash(h, key); !ok || v != "svc.example" {
+		t.Fatalf("original key lost after caller mutation: %q, %v", v, ok)
+	}
+}
+
+func TestEmptyTracksEntryCount(t *testing.T) {
+	m := NewWithShards(4)
+	if !m.Empty() {
+		t.Fatal("fresh map not empty")
+	}
+	m.Set("a", "1")
+	m.Set("a", "2") // replace: still one entry
+	m.Set("b", "3")
+	if m.Empty() {
+		t.Fatal("map with entries reports empty")
+	}
+	m.Remove("a")
+	m.Remove("a") // absent: no double decrement
+	m.Remove("b")
+	if !m.Empty() {
+		t.Fatal("drained map not empty")
+	}
+	m.SetIfAbsent("c", "4")
+	m.SetIfAbsent("c", "5")
+	if m.Empty() {
+		t.Fatal("SetIfAbsent not counted")
+	}
+	m.Clear()
+	if !m.Empty() {
+		t.Fatal("cleared map not empty")
+	}
+	m.Set("d", "6")
+	m.Set("e", "7")
+	if n := m.RemoveIf(func(k, _ string) bool { return k == "d" }); n != 1 {
+		t.Fatalf("RemoveIf = %d", n)
+	}
+	if m.Empty() {
+		t.Fatal("RemoveIf over-decremented")
+	}
+	m.RemoveIf(func(string, string) bool { return true })
+	if !m.Empty() {
+		t.Fatal("full RemoveIf left count")
+	}
+}
+
+func TestEmptyAcrossSnapshot(t *testing.T) {
+	src, dst := NewWithShards(4), NewWithShards(4)
+	src.Set("a", "1")
+	src.Set("b", "2")
+	dst.Set("stale", "x")
+	src.Snapshot(dst)
+	if !src.Empty() {
+		t.Fatal("source not empty after snapshot")
+	}
+	if dst.Empty() {
+		t.Fatal("dest empty after snapshot")
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("dst.Len = %d", dst.Len())
+	}
+	// Mismatched shard counts take the copy path; counts must still track.
+	src2, dst2 := NewWithShards(4), NewWithShards(8)
+	src2.Set("c", "3")
+	src2.Snapshot(dst2)
+	if !src2.Empty() || dst2.Empty() {
+		t.Fatalf("copy-path snapshot counts wrong: src empty=%v dst empty=%v",
+			src2.Empty(), dst2.Empty())
+	}
+}

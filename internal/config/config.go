@@ -73,6 +73,7 @@ type CorrelatorConfig struct {
 	Variant         string `json:"variant"`            // Main (default), NoSplit, ...
 	LookupKey       string `json:"lookup_key"`         // source (default), destination, both
 	NumSplit        int    `json:"num_split"`          // 0 = paper default (10)
+	Lanes           int    `json:"lanes"`              // correlation lanes; 0 = one per split (paper default)
 	FillUpWorkers   int    `json:"fillup_workers"`     // 0 = default
 	LookUpWorkers   int    `json:"lookup_workers"`     // 0 = default
 	WriteWorkers    int    `json:"write_workers"`      // 0 = default
@@ -182,6 +183,9 @@ func (f *File) CoreConfig() (core.Config, error) {
 	if cc.NumSplit > 0 {
 		cfg.NumSplit = cc.NumSplit
 	}
+	if cc.Lanes > 0 {
+		cfg.Lanes = cc.Lanes
+	}
 	if cc.FillUpWorkers > 0 {
 		cfg.FillUpWorkers = cc.FillUpWorkers
 	}
@@ -231,7 +235,7 @@ func Example() *File {
 			Variant:        "Main",
 			LookupKey:      "source",
 			FillUpWorkers:  4,
-			LookUpWorkers:  8,
+			LookUpWorkers:  core.DefaultNumSplit,
 			WriteWorkers:   2,
 			WriteBatchSize: core.DefaultWriteBatchSize,
 		},

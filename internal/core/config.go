@@ -65,7 +65,10 @@ func (k LookupKey) String() string {
 // constructors and adjust.
 type Config struct {
 	// NumSplit is the number of splits for the IP-NAME hashmaps (Table 1:
-	// NUM_SPLIT, empirically 10 in the paper's deployment).
+	// NUM_SPLIT, empirically 10 in the paper's deployment). The lane-major
+	// store layout requires a whole number of splits per lane, so
+	// normalization rounds NumSplit up to the next multiple of Lanes;
+	// Config() reports the effective value.
 	NumSplit int
 	// AClearUpInterval clears IP-NAME maps (paper: 3600 s, the 99th
 	// percentile of A/AAAA TTLs).
@@ -75,17 +78,36 @@ type Config struct {
 	// CNAMEChainLimit bounds the CNAME walk (paper: 6 covers >99 %).
 	CNAMEChainLimit int
 
+	// Lanes is the number of independent correlation lanes the LookUp
+	// stage is sharded into. Flows are partitioned onto lanes by a hash of
+	// the destination IP at offer time (same dst IP → same lane, always);
+	// each lane owns its own lookup queue, its own workers, and — via the
+	// lane-major split layout — its own slice of the IP-NAME store splits.
+	// 0 falls back to the paper default: one lane per split (NumSplit,
+	// Table 1), mirroring the per-split design. The NoSplit ablation
+	// collapses to a single lane.
+	Lanes int
+
 	// Key selects which flow address is resolved (default: source, as in
 	// the paper's deployment).
 	Key LookupKey
 
 	// Worker counts per stage. The paper allocates "multiple FillUp workers
-	// ... to each DNS stream" and likewise for LookUp; these are the totals.
+	// ... to each DNS stream" and likewise for LookUp; these are the
+	// totals. LookUp workers are distributed across lanes; since a lane
+	// without a worker would never drain, the effective LookUp total is
+	// raised to Lanes when LookUpWorkers < Lanes.
 	FillUpWorkers int
 	LookUpWorkers int
 	WriteWorkers  int
 
 	// Queue capacities; overflowing queues drop records (stream loss).
+	// LookQueueCap is the total across all lanes, divided evenly (each
+	// lane gets LookQueueCap/Lanes, minimum 1). A single hot destination
+	// can buffer up to one lane's share before that lane drops — less
+	// absorption than the pre-lane shared queue gave a single bursty
+	// destination — so operators with skewed traffic should raise this
+	// and watch LaneDepths.
 	FillQueueCap  int
 	LookQueueCap  int
 	WriteQueueCap int
@@ -119,7 +141,7 @@ func DefaultConfig() Config {
 		CClearUpInterval:      DefaultCClearUpInterval,
 		CNAMEChainLimit:       DefaultCNAMEChainLimit,
 		FillUpWorkers:         4,
-		LookUpWorkers:         8,
+		LookUpWorkers:         DefaultNumSplit, // one per default lane; every lane needs a worker
 		WriteWorkers:          2,
 		FillQueueCap:          DefaultQueueCapacity,
 		LookQueueCap:          DefaultQueueCapacity,
@@ -211,6 +233,19 @@ func (c Config) normalized() Config {
 	}
 	if c.DisableSplit {
 		c.NumSplit = 1
+	}
+	if c.Lanes <= 0 {
+		// Paper-default fallback: one correlation lane per split.
+		c.Lanes = c.NumSplit
+	}
+	if c.DisableSplit {
+		c.Lanes = 1
+	}
+	// The lane-major store layout needs an equal number of splits per
+	// lane; round NumSplit up to the next multiple of Lanes so Config()
+	// reports the split count actually allocated.
+	if rem := c.NumSplit % c.Lanes; rem != 0 {
+		c.NumSplit += c.Lanes - rem
 	}
 	return c
 }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"math/bits"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,9 +112,19 @@ type Correlator struct {
 	ipName    *store // A/AAAA answer(IP) -> query name
 	nameCname *store // CNAME answer(canonical) -> query (alias)
 
-	fillQ  *queue.Queue[stream.DNSRecord]
-	lookQ  *queue.Queue[flowEntry]
+	fillQ *queue.Queue[stream.DNSRecord]
+	// lanes are the sharded LookUp stage: each lane owns its own lookup
+	// queue and its own workers, and flows are partitioned onto lanes by a
+	// hash of the destination IP (same dst IP → same lane). The store's
+	// lane-major split layout aligns with this partition, so
+	// destination-keyed lookups from different lanes never touch the same
+	// generation shards.
+	lanes  []*corrLane
 	writeQ *queue.Queue[CorrelatedFlow]
+
+	// stagePool recycles the per-lane staging buffers OfferFlowBatch uses
+	// to partition a batch in one pass.
+	stagePool sync.Pool
 
 	started atomic.Bool
 
@@ -133,6 +146,7 @@ func New(cfg Config, opts ...Option) *Correlator {
 		sink: DiscardSink{},
 		ipName: newStore(storeConfig{
 			splits:        cfg.NumSplit,
+			lanes:         cfg.Lanes,
 			interval:      cfg.AClearUpInterval,
 			rotation:      !cfg.DisableRotation,
 			clearUp:       !cfg.DisableClearUp,
@@ -152,9 +166,25 @@ func New(cfg Config, opts ...Option) *Correlator {
 			sweepInterval: cfg.ExactTTLSweepInterval,
 		}),
 		fillQ:      queue.New[stream.DNSRecord](cfg.FillQueueCap),
-		lookQ:      queue.New[flowEntry](cfg.LookQueueCap),
+		lanes:      make([]*corrLane, cfg.Lanes),
 		writeQ:     queue.New[CorrelatedFlow](cfg.WriteQueueCap),
 		sinkFailed: make(chan struct{}),
+	}
+	// LookQueueCap is the total lookup buffer, divided evenly across
+	// lanes, so the stage's memory footprint and the configured loss
+	// bound do not scale with the lane count. The flip side: a burst to
+	// one hot destination only gets its lane's share — raise
+	// LookQueueCap (and watch LaneDepths) for skewed traffic.
+	perLaneCap := cfg.LookQueueCap / cfg.Lanes
+	if perLaneCap < 1 {
+		perLaneCap = 1
+	}
+	for i := range c.lanes {
+		c.lanes[i] = &corrLane{q: queue.New[flowEntry](perLaneCap)}
+	}
+	laneCount := len(c.lanes)
+	c.stagePool.New = func() any {
+		return &laneStage{perLane: make([][]flowEntry, laneCount)}
 	}
 	for _, opt := range opts {
 		if opt != nil {
@@ -163,6 +193,49 @@ func New(cfg Config, opts ...Option) *Correlator {
 	}
 	return c
 }
+
+// corrLane is one correlation lane: an independent slice of the LookUp
+// stage with its own queue; its workers are launched by Run.
+type corrLane struct {
+	q *queue.Queue[flowEntry]
+}
+
+// laneStage is the reusable per-lane staging buffer OfferFlowBatch
+// partitions a flow batch into.
+type laneStage struct {
+	perLane [][]flowEntry
+}
+
+// ipHash hashes the 16-byte canonical address form in two 64-bit loads
+// plus a SplitMix64-style finalizer — a fraction of the cost of hashing 16
+// bytes through byte-at-a-time FNV on the per-flow path. Every operation
+// on binary IP keys (lane selection, store split labeling, shard
+// selection, fills) must use this same hash; that shared value is what
+// makes lane ↔ split-slice ownership line up.
+func ipHash(key *[16]byte) uint32 {
+	lo := binary.LittleEndian.Uint64(key[:8])
+	hi := binary.LittleEndian.Uint64(key[8:])
+	x := lo ^ bits.RotateLeft64(hi, 32)
+	x *= 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return uint32(x)
+}
+
+// laneFor returns the correlation lane owning addr: the low bits of the
+// shared IP-key hash, exactly as the store's lane-major split layout uses
+// them.
+func (c *Correlator) laneFor(addr netip.Addr) int {
+	if len(c.lanes) == 1 {
+		return 0
+	}
+	a16 := addr.As16()
+	return int(ipHash(&a16) % uint32(len(c.lanes)))
+}
+
+// Lanes returns the number of correlation lanes in effect.
+func (c *Correlator) Lanes() int { return len(c.lanes) }
 
 // Config returns the normalized configuration in effect.
 func (c *Correlator) Config() Config { return c.cfg }
@@ -179,32 +252,62 @@ func (c *Correlator) OfferDNSBatch(recs []stream.DNSRecord) int {
 	return c.fillQ.OfferBatch(recs)
 }
 
-// OfferFlow places a flow on the LookUp queue, stamping its arrival
-// instant; a false return is a dropped record (stream loss).
+// OfferFlow places a flow on its correlation lane's LookUp queue, stamping
+// its arrival instant; a false return is a dropped record (stream loss).
+// The lane is chosen by a hash of the destination IP, so flows to the same
+// destination always land on the same lane.
 func (c *Correlator) OfferFlow(fr netflow.FlowRecord) bool {
-	return c.lookQ.Offer(flowEntry{fr: fr, at: time.Now()})
+	return c.lanes[c.laneFor(fr.DstIP)].q.Offer(flowEntry{fr: fr, at: time.Now()})
 }
 
-// OfferFlowBatch places a batch of flows on the LookUp queue — one arrival
-// stamp for the whole batch — and returns how many were accepted.
+// OfferFlowBatch partitions a batch of flows onto their correlation lanes —
+// one arrival stamp for the whole batch — and returns how many were
+// accepted. Partitioning is one pass through reusable staging buffers, so
+// the offer cost stays amortized per batch, not per record.
 func (c *Correlator) OfferFlowBatch(frs []netflow.FlowRecord) int {
 	if len(frs) == 0 {
 		return 0
 	}
 	now := time.Now()
-	entries := make([]flowEntry, len(frs))
+	st := c.stagePool.Get().(*laneStage)
 	for i := range frs {
-		entries[i] = flowEntry{fr: frs[i], at: now}
+		l := c.laneFor(frs[i].DstIP)
+		st.perLane[l] = append(st.perLane[l], flowEntry{fr: frs[i], at: now})
 	}
-	return c.lookQ.OfferBatch(entries)
+	accepted := 0
+	for l := range st.perLane {
+		if len(st.perLane[l]) == 0 {
+			continue
+		}
+		accepted += c.lanes[l].q.OfferBatch(st.perLane[l])
+		st.perLane[l] = st.perLane[l][:0]
+	}
+	c.stagePool.Put(st)
+	return accepted
 }
 
 var _ stream.Ingest = (*Correlator)(nil)
 
 // QueueDepths reports the current occupancy of the three stage queues —
-// the "buffer usage" the paper's operators watch to keep loss at zero.
+// the "buffer usage" the paper's operators watch to keep loss at zero. The
+// look depth aggregates every correlation lane; LaneDepths has the
+// per-lane breakdown.
 func (c *Correlator) QueueDepths() (fill, look, write int) {
-	return c.fillQ.Len(), c.lookQ.Len(), c.writeQ.Len()
+	for _, l := range c.lanes {
+		look += l.q.Len()
+	}
+	return c.fillQ.Len(), look, c.writeQ.Len()
+}
+
+// LaneDepths reports each correlation lane's lookup-queue occupancy — the
+// skew monitor for the dst-IP partition (a hot destination shows up as one
+// deep lane).
+func (c *Correlator) LaneDepths() []int {
+	out := make([]int, len(c.lanes))
+	for i, l := range c.lanes {
+		out[i] = l.q.Len()
+	}
+	return out
 }
 
 // Run executes the pipeline: it launches the FillUp, LookUp, and Write
@@ -244,27 +347,53 @@ func (c *Correlator) Run(ctx context.Context) error {
 			}
 		}()
 	}
-	for i := 0; i < c.cfg.LookUpWorkers; i++ {
-		wgLook.Add(1)
-		go func() {
-			defer wgLook.Done()
-			batch := make([]flowEntry, 0, ingestBatchSize)
-			out := make([]CorrelatedFlow, 0, ingestBatchSize)
-			for {
-				var ok bool
-				batch, ok = c.lookQ.TakeBatch(batch[:0], ingestBatchSize, 0)
-				if !ok {
-					return
+	// LookUp workers are divided evenly across lanes (at least one per
+	// lane): a worker drains only its own lane's queue, so two workers
+	// never contend on one queue unless the operator asked for more
+	// workers than lanes. The handoff to the Write stage uses blocking
+	// PutBatch, not the dropping OfferBatch: a flow accepted into a lane
+	// is already part of the pipeline and must reach the sink — loss is
+	// accounted only at intake. This also makes the drain lossless: a full
+	// lane queue at cancellation backpressures into the Write workers
+	// instead of overflowing the write queue.
+	baseWorkers := c.cfg.LookUpWorkers / len(c.lanes)
+	extraWorkers := c.cfg.LookUpWorkers % len(c.lanes)
+	if baseWorkers < 1 {
+		// Fewer workers than lanes: every lane still needs one (a lane
+		// without a worker would never drain), so the effective total is
+		// the lane count.
+		baseWorkers, extraWorkers = 1, 0
+	}
+	for li, lane := range c.lanes {
+		workersPerLane := baseWorkers
+		if li < extraWorkers {
+			workersPerLane++ // distribute the remainder; the configured total is honored
+		}
+		for i := 0; i < workersPerLane; i++ {
+			wgLook.Add(1)
+			go func(lane *corrLane) {
+				defer wgLook.Done()
+				batch := make([]flowEntry, 0, ingestBatchSize)
+				out := make([]CorrelatedFlow, 0, ingestBatchSize)
+				var tally lookTally
+				for {
+					var ok bool
+					batch, ok = lane.q.TakeBatch(batch[:0], ingestBatchSize, 0)
+					if !ok {
+						return
+					}
+					out = out[:0]
+					for i := range batch {
+						out = append(out, CorrelatedFlow{})
+						cf := &out[len(out)-1]
+						c.correlateInto(cf, &batch[i].fr, &tally)
+						cf.EnqueuedAt = batch[i].at
+					}
+					tally.flush(&c.stats)
+					c.writeQ.PutBatch(out)
 				}
-				out = out[:0]
-				for i := range batch {
-					cf := c.CorrelateFlow(batch[i].fr)
-					cf.EnqueuedAt = batch[i].at
-					out = append(out, cf)
-				}
-				c.writeQ.OfferBatch(out)
-			}
-		}()
+			}(lane)
+		}
 	}
 	// The drain must finish even after ctx is cancelled: in-flight records
 	// belong to the sink, so sink writes run under an uncancellable child.
@@ -367,10 +496,15 @@ func (c *Correlator) Run(ctx context.Context) error {
 	}
 
 	// Graceful drain: stop intake, then close and drain stage by stage.
+	// Every lane queue closes before the write queue does, and the
+	// LookUp→Write handoff blocks rather than drops, so every flow
+	// accepted into any lane reaches the sink exactly once.
 	stopSources()
 	wgSrc.Wait()
 	c.fillQ.Close()
-	c.lookQ.Close()
+	for _, lane := range c.lanes {
+		lane.q.Close()
+	}
 	wgFill.Wait()
 	wgLook.Wait()
 	c.writeQ.Close()
@@ -402,51 +536,97 @@ func (c *Correlator) failSink(err error) {
 
 // IngestDNS validates one DNS record and fills it into the hashmaps
 // (Algorithm 1). It is the FillUp worker body and may be called directly
-// for deterministic offline replays.
+// for deterministic offline replays. A/AAAA answers are keyed by the
+// 16-byte binary address form — the same key LookUp builds from a flow's
+// address without formatting a string — so an answer that fails to parse
+// as an address is rejected by the §3.2 filter.
 func (c *Correlator) IngestDNS(rec stream.DNSRecord) {
 	if !rec.IsValid() {
 		c.stats.dnsInvalid.Add(1)
 		return
 	}
-	c.stats.dnsRecords.Add(1)
 	value := dnsname.Normalize(rec.Query)
 	switch rec.RType {
 	case dnswire.TypeA, dnswire.TypeAAAA:
-		c.ipName.put(rec.Timestamp, rec.TTL, rec.Answer, value)
+		addr, err := netip.ParseAddr(rec.Answer)
+		if err != nil {
+			c.stats.dnsInvalid.Add(1)
+			return
+		}
+		key := addr.As16()
+		c.ipName.putBytesHash(rec.Timestamp, rec.TTL, ipHash(&key), key[:], value)
 	case dnswire.TypeCNAME:
 		c.nameCname.put(rec.Timestamp, rec.TTL, dnsname.Normalize(rec.Answer), value)
 	}
+	c.stats.dnsRecords.Add(1)
+}
+
+// lookupIP resolves one address against the IP-NAME store with a stack
+// key: As16 never allocates and the byte-keyed probe never retains the
+// slice, so the whole lookup is allocation-free.
+func (c *Correlator) lookupIP(ts time.Time, addr netip.Addr) (string, Tier) {
+	key := addr.As16()
+	return c.ipName.getBytesHash(ts, ipHash(&key), key[:])
 }
 
 // CorrelateFlow resolves one flow (Algorithm 2) and returns the correlated
-// record. It is the LookUp worker body and may be called directly.
+// record. It may be called directly for deterministic offline replays; the
+// async pipeline's lane workers use the batch form, which amortizes the
+// stats updates.
 func (c *Correlator) CorrelateFlow(fr netflow.FlowRecord) CorrelatedFlow {
-	cf := CorrelatedFlow{Flow: fr}
-	c.stats.flows.Add(1)
-	c.stats.flowBytes.Add(fr.Bytes)
+	var tally lookTally
+	var cf CorrelatedFlow
+	c.correlateInto(&cf, &fr, &tally)
+	tally.flush(&c.stats)
+	return cf
+}
+
+// CorrelateBatch resolves every flow in frs, appending the correlated
+// records to dst and returning the extended slice. It is the LookUp lane
+// worker body: per-flow counter updates accumulate in a local tally that
+// is flushed to the shared stats block once per batch, keeping the hit
+// path free of both allocations and shared-cache-line traffic.
+func (c *Correlator) CorrelateBatch(dst []CorrelatedFlow, frs []netflow.FlowRecord) []CorrelatedFlow {
+	var tally lookTally
+	for i := range frs {
+		dst = append(dst, CorrelatedFlow{})
+		c.correlateInto(&dst[len(dst)-1], &frs[i], &tally)
+	}
+	tally.flush(&c.stats)
+	return dst
+}
+
+// correlateInto is Algorithm 2 for a single flow, writing the result into
+// cf. The pointer shape avoids copying the (large) flow and result structs
+// through every call; all counters go to tally, not the shared atomics —
+// callers flush.
+func (c *Correlator) correlateInto(cf *CorrelatedFlow, fr *netflow.FlowRecord, tally *lookTally) {
+	cf.Flow = *fr
+	tally.flows++
+	tally.flowBytes += fr.Bytes
 	if !fr.IsValid() {
-		c.stats.flowInvalid.Add(1)
-		return cf
+		tally.flowInvalid++
+		return
 	}
 	var name string
 	tier := TierNone
 	switch c.cfg.Key {
 	case LookupDestination:
-		name, tier = c.ipName.get(fr.Timestamp, stream.AddrKey(fr.DstIP))
+		name, tier = c.lookupIP(fr.Timestamp, fr.DstIP)
 	case LookupBoth:
-		name, tier = c.ipName.get(fr.Timestamp, stream.AddrKey(fr.SrcIP))
+		name, tier = c.lookupIP(fr.Timestamp, fr.SrcIP)
 		if tier == TierNone {
-			name, tier = c.ipName.get(fr.Timestamp, stream.AddrKey(fr.DstIP))
+			name, tier = c.lookupIP(fr.Timestamp, fr.DstIP)
 		}
 	default:
-		name, tier = c.ipName.get(fr.Timestamp, stream.AddrKey(fr.SrcIP))
+		name, tier = c.lookupIP(fr.Timestamp, fr.SrcIP)
 	}
 	if tier == TierNone {
-		c.stats.misses.Add(1)
-		return cf
+		tally.misses++
+		return
 	}
 	cf.Tier = tier
-	c.stats.tierHit(tier)
+	tally.hits[tier]++
 
 	// Walk the CNAME chain backwards: answer(canonical) -> query(alias),
 	// ending at the name nothing else aliases — the original service name.
@@ -464,14 +644,17 @@ func (c *Correlator) CorrelateFlow(fr netflow.FlowRecord) CorrelatedFlow {
 	if hops > 1 {
 		// §3.3 step 7: memoize multi-hop resolutions for later use.
 		c.nameCname.memoize(first, result)
-		c.stats.memoized.Add(1)
+		tally.memoized++
 	}
 	cf.Name = result
 	cf.ChainLen = hops
-	c.stats.correlated.Add(1)
-	c.stats.correlatedBytes.Add(fr.Bytes)
-	c.stats.chainHop(hops)
-	return cf
+	tally.correlated++
+	tally.correlatedBytes += fr.Bytes
+	b := hops
+	if b >= maxChainBucket {
+		b = maxChainBucket - 1
+	}
+	tally.chain[b]++
 }
 
 // StoreSizes returns current entry counts of the two map families; the

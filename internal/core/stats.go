@@ -35,22 +35,65 @@ type statsCounters struct {
 	chain [maxChainBucket]atomic.Uint64
 }
 
-func (s *statsCounters) tierHit(t Tier) {
-	switch t {
-	case TierActive:
-		s.hitActive.Add(1)
-	case TierInactive:
-		s.hitInactive.Add(1)
-	case TierLong:
-		s.hitLong.Add(1)
-	}
+// lookTally is a LookUp worker's batch-local counter block. Workers
+// accumulate per-flow counts here and flush once per batch, amortizing the
+// shared atomic updates (and their cache-line traffic) over the batch —
+// one of the two costs, with key allocation, that the sharded-lane design
+// removes from the per-flow hit path.
+type lookTally struct {
+	flows       uint64
+	flowInvalid uint64
+	flowBytes   uint64
+
+	correlated      uint64
+	correlatedBytes uint64
+	misses          uint64
+
+	hits     [TierLong + 1]uint64
+	memoized uint64
+
+	chain [maxChainBucket]uint64
 }
 
-func (s *statsCounters) chainHop(hops int) {
-	if hops >= maxChainBucket {
-		hops = maxChainBucket - 1
+// flush adds the tally to the shared counters and zeroes it. Zero fields
+// cost nothing.
+func (t *lookTally) flush(s *statsCounters) {
+	if t.flows != 0 {
+		s.flows.Add(t.flows)
 	}
-	s.chain[hops].Add(1)
+	if t.flowInvalid != 0 {
+		s.flowInvalid.Add(t.flowInvalid)
+	}
+	if t.flowBytes != 0 {
+		s.flowBytes.Add(t.flowBytes)
+	}
+	if t.correlated != 0 {
+		s.correlated.Add(t.correlated)
+	}
+	if t.correlatedBytes != 0 {
+		s.correlatedBytes.Add(t.correlatedBytes)
+	}
+	if t.misses != 0 {
+		s.misses.Add(t.misses)
+	}
+	if t.hits[TierActive] != 0 {
+		s.hitActive.Add(t.hits[TierActive])
+	}
+	if t.hits[TierInactive] != 0 {
+		s.hitInactive.Add(t.hits[TierInactive])
+	}
+	if t.hits[TierLong] != 0 {
+		s.hitLong.Add(t.hits[TierLong])
+	}
+	if t.memoized != 0 {
+		s.memoized.Add(t.memoized)
+	}
+	for i := range t.chain {
+		if t.chain[i] != 0 {
+			s.chain[i].Add(t.chain[i])
+		}
+	}
+	*t = lookTally{}
 }
 
 // Stats is a point-in-time snapshot of everything the evaluation section
@@ -91,9 +134,12 @@ type Stats struct {
 	Sweeps             uint64 // exact-TTL mode only
 	SweptEntries       uint64
 
+	// LookQueue aggregates every correlation lane's queue; Lanes is the
+	// lane count behind it.
 	FillQueue  queue.Stats
 	LookQueue  queue.Stats
 	WriteQueue queue.Stats
+	Lanes      int
 }
 
 // CorrelationRate returns correlated bytes over total bytes — the paper's
@@ -146,8 +192,14 @@ func (c *Correlator) Stats() Stats {
 		Sweeps:             c.ipName.sweeps.Load() + c.nameCname.sweeps.Load(),
 		SweptEntries:       c.ipName.swept.Load() + c.nameCname.swept.Load(),
 		FillQueue:          c.fillQ.Stats(),
-		LookQueue:          c.lookQ.Stats(),
 		WriteQueue:         c.writeQ.Stats(),
+		Lanes:              len(c.lanes),
+	}
+	for _, l := range c.lanes {
+		ls := l.q.Stats()
+		st.LookQueue.Enqueued += ls.Enqueued
+		st.LookQueue.Dropped += ls.Dropped
+		st.LookQueue.Dequeued += ls.Dequeued
 	}
 	for i := range st.ChainHist {
 		st.ChainHist[i] = c.stats.chain[i].Load()

@@ -39,12 +39,22 @@ func (t Tier) String() string {
 // store is one family of FlowDNS hashmaps (either IP-NAME or NAME-CNAME):
 // per-split active/inactive/long generations plus the clear-up machinery of
 // Algorithm 1. All methods are safe for concurrent use.
+//
+// Splits are laid out lane-major: the split index of a key is
+// (laneOf(key) * perLane) + withinLane(key), with laneOf derived from the
+// same hash the correlator uses to partition flows onto correlation lanes.
+// When lookups route by the partition address (LookupDestination), every
+// split slice [lane*perLane, (lane+1)*perLane) is read by exactly one
+// lane's workers, so concurrent LookUp workers never contend on the same
+// generation shards.
 type store struct {
 	active   []*cmap.Map
 	inactive []*cmap.Map
 	long     []*cmap.Map
 
 	splits        int
+	lanes         int // lane-major grouping of splits
+	perLane       int // splits per lane; splits == lanes*perLane
 	interval      time.Duration
 	rotation      bool // keep an inactive generation on clear-up
 	clearUp       bool // clear at all
@@ -67,6 +77,7 @@ type store struct {
 // storeConfig carries the subset of Config a store needs.
 type storeConfig struct {
 	splits        int
+	lanes         int
 	interval      time.Duration
 	rotation      bool
 	clearUp       bool
@@ -80,11 +91,23 @@ func newStore(sc storeConfig) *store {
 	if sc.splits < 1 {
 		sc.splits = 1
 	}
+	if sc.lanes < 1 {
+		sc.lanes = 1
+	}
 	if sc.shardsPerMap < 1 {
 		sc.shardsPerMap = cmap.DefaultShardCount
 	}
+	// A single-split store (NAME-CNAME, the NoSplit ablation) cannot give
+	// each lane its own slice; every lane shares split 0.
+	if sc.splits == 1 {
+		sc.lanes = 1
+	}
+	perLane := (sc.splits + sc.lanes - 1) / sc.lanes
+	splits := sc.lanes * perLane
 	s := &store{
-		splits:        sc.splits,
+		splits:        splits,
+		lanes:         sc.lanes,
+		perLane:       perLane,
 		interval:      sc.interval,
 		rotation:      sc.rotation,
 		clearUp:       sc.clearUp,
@@ -92,11 +115,11 @@ func newStore(sc storeConfig) *store {
 		ttlThreshold:  sc.interval,
 		exactTTL:      sc.exactTTL,
 		sweepInterval: sc.sweepInterval,
-		active:        make([]*cmap.Map, sc.splits),
-		inactive:      make([]*cmap.Map, sc.splits),
-		long:          make([]*cmap.Map, sc.splits),
+		active:        make([]*cmap.Map, splits),
+		inactive:      make([]*cmap.Map, splits),
+		long:          make([]*cmap.Map, splits),
 	}
-	for i := 0; i < sc.splits; i++ {
+	for i := 0; i < splits; i++ {
 		s.active[i] = cmap.NewWithShards(sc.shardsPerMap)
 		s.inactive[i] = cmap.NewWithShards(sc.shardsPerMap)
 		s.long[i] = cmap.NewWithShards(sc.shardsPerMap)
@@ -104,72 +127,138 @@ func newStore(sc storeConfig) *store {
 	return s
 }
 
-// label implements the paper's step-4 labeling: a stable hash of the key
-// selects which split a record lands in (0 <= n < NUM_SPLIT).
-func (s *store) label(key string) int {
+// splitFor implements the paper's step-4 labeling lane-major: the low bits
+// of the key hash select the lane (matching the correlator's flow
+// partition), a golden-ratio remix selects the split within the lane's
+// slice. Both put and get derive the index from the same cmap hash, so one
+// hash per key serves lane routing, split labeling, and shard selection.
+func (s *store) splitFor(h uint32) int {
 	if s.splits == 1 {
 		return 0
 	}
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= prime32
-	}
-	return int(h % uint32(s.splits))
+	lane := int(h % uint32(s.lanes))
+	within := int((h * 0x9E3779B9 >> 8) % uint32(s.perLane))
+	return lane*s.perLane + within
 }
 
 // put inserts one record per Algorithm 1: first advance the clear-up clock
 // using the record's own timestamp, then place the record by TTL.
 func (s *store) put(ts time.Time, ttl uint32, key, value string) {
+	s.putHash(ts, ttl, cmap.Hash(key), key, value)
+}
+
+func (s *store) putHash(ts time.Time, ttl uint32, h uint32, key, value string) {
 	s.maybeClearUp(ts)
 	if s.exactTTL {
 		// Appendix A.8: every record carries its exact expiry; the sweep in
 		// maybeSweep scans it back out. Everything lands in Active.
 		s.maybeSweep(ts)
-		s.active[s.label(key)].Set(key, encodeExpiry(value, ts.Add(time.Duration(ttl)*time.Second)))
+		s.active[s.splitFor(h)].SetHash(h, key, encodeExpiry(value, ts.Add(time.Duration(ttl)*time.Second)))
 		return
 	}
-	n := s.label(key)
+	n := s.splitFor(h)
 	if s.longEnabled && time.Duration(ttl)*time.Second >= s.ttlThreshold {
-		s.long[n].Set(key, value)
+		s.long[n].SetHash(h, key, value)
 		return
 	}
-	s.active[n].Set(key, value)
+	s.active[n].SetHash(h, key, value)
+}
+
+// putBytesHash is put for a byte-slice key (the correlator's binary IP
+// keys) with a caller-supplied hash. The caller must use the same hash
+// function for every operation touching these keys — the correlator uses
+// ipHash — since it selects both the split and the shard. The key bytes
+// are only copied when the map inserts the entry.
+func (s *store) putBytesHash(ts time.Time, ttl uint32, h uint32, key []byte, value string) {
+	s.maybeClearUp(ts)
+	if s.exactTTL {
+		s.maybeSweep(ts)
+		s.active[s.splitFor(h)].SetBytesHash(h, key, encodeExpiry(value, ts.Add(time.Duration(ttl)*time.Second)))
+		return
+	}
+	n := s.splitFor(h)
+	if s.longEnabled && time.Duration(ttl)*time.Second >= s.ttlThreshold {
+		s.long[n].SetBytesHash(h, key, value)
+		return
+	}
+	s.active[n].SetBytesHash(h, key, value)
 }
 
 // get implements Algorithm 2's deepLookUp: Active, then Inactive, then Long.
 // In exact-TTL mode the stored expiry is honoured: expired entries do not
 // match (the paper's A.8 condition TTL_dns + Timestamp_dns < Timestamp_netflow).
+// Generations that are empty (drained inactive/long maps, common outside
+// rotation windows) are skipped with one atomic load instead of a locked
+// probe.
 func (s *store) get(now time.Time, key string) (string, Tier) {
-	n := s.label(key)
-	if v, ok := s.active[n].Get(key); ok {
-		if s.exactTTL {
-			value, exp := decodeExpiry(v)
-			if now.After(exp) {
-				return "", TierNone
-			}
-			return value, TierActive
+	// A single-split store (NAME-CNAME) that holds nothing — no CNAMEs
+	// seen yet, or all generations cleared — resolves to a miss before
+	// paying for the key hash. This keeps the per-flow CNAME walk nearly
+	// free for workloads without CNAME chains.
+	if s.splits == 1 && s.active[0].Empty() && s.inactive[0].Empty() && s.long[0].Empty() {
+		return "", TierNone
+	}
+	h := cmap.Hash(key)
+	n := s.splitFor(h)
+	if !s.active[n].Empty() {
+		if v, ok := s.active[n].GetHash(h, key); ok {
+			return s.checkExpiry(now, v)
 		}
-		return v, TierActive
 	}
-	if v, ok := s.inactive[n].Get(key); ok {
-		return v, TierInactive
+	if !s.inactive[n].Empty() {
+		if v, ok := s.inactive[n].GetHash(h, key); ok {
+			return v, TierInactive
+		}
 	}
-	if v, ok := s.long[n].Get(key); ok {
-		return v, TierLong
+	if !s.long[n].Empty() {
+		if v, ok := s.long[n].GetHash(h, key); ok {
+			return v, TierLong
+		}
 	}
 	return "", TierNone
+}
+
+// getBytesHash is get for a byte-slice key with a caller-supplied hash;
+// the allocation-free LookUp hit path. The key is never retained.
+func (s *store) getBytesHash(now time.Time, h uint32, key []byte) (string, Tier) {
+	n := s.splitFor(h)
+	if !s.active[n].Empty() {
+		if v, ok := s.active[n].GetBytesHash(h, key); ok {
+			return s.checkExpiry(now, v)
+		}
+	}
+	if !s.inactive[n].Empty() {
+		if v, ok := s.inactive[n].GetBytesHash(h, key); ok {
+			return v, TierInactive
+		}
+	}
+	if !s.long[n].Empty() {
+		if v, ok := s.long[n].GetBytesHash(h, key); ok {
+			return v, TierLong
+		}
+	}
+	return "", TierNone
+}
+
+// checkExpiry resolves an Active-generation hit, decoding the stored expiry
+// in exact-TTL mode.
+func (s *store) checkExpiry(now time.Time, v string) (string, Tier) {
+	if s.exactTTL {
+		value, exp := decodeExpiry(v)
+		if now.After(exp) {
+			return "", TierNone
+		}
+		return value, TierActive
+	}
+	return v, TierActive
 }
 
 // memoize writes a resolved multi-hop result back into the Active maps
 // (§3.3 step 7) without advancing the clear-up clock: the memo entry's
 // lifetime belongs to the current generation.
 func (s *store) memoize(key, value string) {
-	s.active[s.label(key)].Set(key, value)
+	h := cmap.Hash(key)
+	s.active[s.splitFor(h)].SetHash(h, key, value)
 }
 
 // maybeClearUp rotates (or clears) every split once interval has elapsed on

@@ -1,0 +1,60 @@
+package ipfix
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/netflow"
+)
+
+// FuzzDecode asserts the IPFIX decoder never panics on arbitrary
+// datagrams — including mangled template sets, enterprise-number field
+// specifiers, and variable-length fields, the trickiest parts of RFC 7011
+// — with a cold, nil, and warm template cache.
+func FuzzDecode(f *testing.F) {
+	rec := netflow.FlowRecord{
+		Timestamp: time.UnixMilli(1653475200123),
+		SrcIP:     netip.AddrFrom4([4]byte{198, 51, 100, 7}),
+		DstIP:     netip.AddrFrom4([4]byte{203, 0, 113, 9}),
+		SrcPort:   443, DstPort: 50000, Proto: 6, Packets: 10, Bytes: 1500,
+	}
+	valid, err := Encode(Header{ExportTime: 1653475200, DomainID: 42}, StandardTemplate(), []netflow.FlowRecord{rec})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:16])  // header only
+	f.Add(valid[:20])  // truncated set header
+	f.Add([]byte{})    // empty
+	f.Add([]byte{0, 10, 0, 16, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 16}) // header length lies
+	// A template with an enterprise-number field and a variable-length
+	// field, then a data set under it.
+	varTmpl := []byte{
+		0, 10, 0, 40, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 42, // header (len 40)
+		0, 2, 0, 16, // template set, len 16
+		1, 0, 0, 2, // template id 256, 2 fields
+		0x80, 82, 0xFF, 0xFF, 0, 0, 0, 9, // enterprise(9) IE 82, varlen
+		0, 4, 0, 1, // protocolIdentifier, 1 byte
+		1, 0, 0, 8, // data set id 256, len 8
+		2, 0xAB, 0xCD, 6, // varlen len=2 + payload + proto
+	}
+	f.Add(varTmpl)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := Decode(data, NewCache()); err != nil {
+			_ = err
+		}
+		if _, err := Decode(data, nil); err != nil {
+			_ = err
+		}
+		warm := NewCache()
+		warm.Put(42, StandardTemplate())
+		m, err := Decode(data, warm)
+		if err != nil {
+			return
+		}
+		for i := range m.Records {
+			_ = m.Records[i].IsValid()
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// fuzzSeedV5 builds a valid v5 export for the seed corpus.
+func fuzzSeedV5(t *testing.F) []byte {
+	t.Helper()
+	h := V5Header{SysUptimeMs: 1000, UnixSecs: 1653475200, FlowSequence: 7}
+	recs := []V5Record{
+		{SrcAddr: [4]byte{198, 51, 100, 7}, DstAddr: [4]byte{203, 0, 113, 9},
+			Packets: 10, Octets: 1500, SrcPort: 443, DstPort: 50000, Proto: 6},
+		{SrcAddr: [4]byte{192, 0, 2, 1}, DstAddr: [4]byte{198, 51, 100, 250},
+			Packets: 1, Octets: 64, SrcPort: 53, DstPort: 4096, Proto: 17},
+	}
+	pkt, err := EncodeV5(h, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+// FuzzDecodeV5 asserts the v5 decoder never panics on arbitrary datagrams
+// — the packets arrive on an open UDP socket from untrusted exporters —
+// and that accepted packets survive the record→neutral→wire round trip.
+func FuzzDecodeV5(f *testing.F) {
+	valid := fuzzSeedV5(f)
+	f.Add(valid)
+	f.Add(valid[:24])           // header only
+	f.Add(valid[:37])           // truncated mid-record
+	f.Add([]byte{})             // empty
+	f.Add([]byte{0, 5})         // short header
+	f.Add([]byte{0, 9, 0, 0})   // wrong version prefix
+	badCount := append([]byte(nil), valid...)
+	badCount[3] = 29 // count disagrees with payload
+	f.Add(badCount)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, recs, err := DecodeV5(data)
+		if err != nil {
+			return
+		}
+		if len(recs) != int(h.Count) {
+			t.Fatalf("decoded %d records, header count %d", len(recs), h.Count)
+		}
+		for i := range recs {
+			fr := recs[i].ToFlowRecord(h)
+			if fr.Timestamp.IsZero() && h.UnixSecs != 0 {
+				t.Fatal("timestamp lost")
+			}
+		}
+		if _, err := EncodeV5(h, recs); err != nil {
+			t.Fatalf("re-encode of accepted packet: %v", err)
+		}
+	})
+}
+
+// fuzzSeedV9 builds a valid v9 export (template + data) for the corpus.
+func fuzzSeedV9(t *testing.F, tmpl Template, rec FlowRecord) []byte {
+	t.Helper()
+	pkt, err := EncodeV9(V9Header{SysUptimeMs: 5, UnixSecs: 1653475200, SourceID: 42},
+		tmpl, []FlowRecord{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+// FuzzDecodeV9 asserts the v9 decoder never panics on arbitrary datagrams,
+// with and without a warm template cache, including template FlowSets the
+// packet itself announces.
+func FuzzDecodeV9(f *testing.F) {
+	ts := time.UnixMilli(1653475200123)
+	v4 := fuzzSeedV9(f, StandardTemplate(), FlowRecord{
+		Timestamp: ts,
+		SrcIP:     netip.AddrFrom4([4]byte{198, 51, 100, 7}),
+		DstIP:     netip.AddrFrom4([4]byte{203, 0, 113, 9}),
+		SrcPort:   443, DstPort: 50000, Proto: 6, Packets: 10, Bytes: 1500,
+	})
+	v6 := fuzzSeedV9(f, StandardTemplateV6(), FlowRecord{
+		Timestamp: ts,
+		SrcIP:     netip.MustParseAddr("2001:db8::1"),
+		DstIP:     netip.MustParseAddr("2001:db8::2"),
+		SrcPort:   443, DstPort: 50000, Proto: 6, Packets: 3, Bytes: 900,
+	})
+	f.Add(v4)
+	f.Add(v6)
+	f.Add(v4[:20])  // header only
+	f.Add(v4[:30])  // truncated template set
+	f.Add([]byte{}) // empty
+	zeroLenSet := append(append([]byte(nil), v4[:20]...), 0, 0, 0, 0) // set len 0
+	f.Add(zeroLenSet)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cold cache: templates must come from the packet itself.
+		if _, err := DecodeV9(data, NewTemplateCache()); err != nil {
+			_ = err
+		}
+		// Nil cache is a supported configuration.
+		if _, err := DecodeV9(data, nil); err != nil {
+			_ = err
+		}
+		// Warm cache: data sets resolve against a known standard template,
+		// exercising record decode even when the fuzzer mangles the
+		// packet's own template set.
+		warm := NewTemplateCache()
+		warm.Put(42, StandardTemplate())
+		warm.Put(42, StandardTemplateV6())
+		pkt, err := DecodeV9(data, warm)
+		if err != nil {
+			return
+		}
+		for i := range pkt.Records {
+			_ = pkt.Records[i].IsValid()
+		}
+	})
+}

@@ -131,6 +131,30 @@ func (q *Queue[T]) Put(v T) {
 	q.enqueued.Add(1)
 }
 
+// PutBatch enqueues every record in vs, blocking for space as needed, and
+// returns the number enqueued. It is the backpressure form of OfferBatch:
+// inter-stage handoffs use it so that records already accepted into the
+// pipeline are never dropped between stages — loss is accounted only at the
+// intake queues, as with the paper's stream buffers. Like Put, it must not
+// be called after Close (the whole batch then counts as dropped) and
+// requires consumers to be draining the queue until Close.
+func (q *Queue[T]) PutBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		q.dropped.Add(uint64(len(vs)))
+		return 0
+	}
+	for i := range vs {
+		q.ch <- vs[i]
+	}
+	q.enqueued.Add(uint64(len(vs)))
+	return len(vs)
+}
+
 // Take dequeues the next record, blocking until one is available. ok is
 // false when the queue has been closed and drained.
 func (q *Queue[T]) Take() (v T, ok bool) {

@@ -305,3 +305,50 @@ func BenchmarkOfferTake(b *testing.B) {
 		}
 	})
 }
+
+func TestPutBatchBlocksUntilSpace(t *testing.T) {
+	q := New[int](2)
+	done := make(chan int, 1)
+	go func() { done <- q.PutBatch([]int{1, 2, 3, 4}) }()
+	select {
+	case <-done:
+		t.Fatal("PutBatch returned with full buffer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Drain two; the blocked producer finishes.
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Take(); !ok {
+			t.Fatal("take failed")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if v, ok := q.Take(); !ok || v != i+3 {
+			t.Fatalf("take = %d, %v", v, ok)
+		}
+	}
+	if n := <-done; n != 4 {
+		t.Fatalf("PutBatch = %d, want 4", n)
+	}
+	st := q.Stats()
+	if st.Enqueued != 4 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutBatchAfterCloseCountsDrops(t *testing.T) {
+	q := New[int](4)
+	q.Close()
+	if n := q.PutBatch([]int{1, 2, 3}); n != 0 {
+		t.Fatalf("PutBatch on closed = %d", n)
+	}
+	if st := q.Stats(); st.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", st.Dropped)
+	}
+}
+
+func TestPutBatchEmpty(t *testing.T) {
+	q := New[int](1)
+	if n := q.PutBatch(nil); n != 0 {
+		t.Fatalf("PutBatch(nil) = %d", n)
+	}
+}

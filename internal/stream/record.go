@@ -18,7 +18,6 @@
 package stream
 
 import (
-	"net/netip"
 	"time"
 
 	"repro/internal/dnswire"
@@ -95,7 +94,3 @@ func FlattenResponse(m *dnswire.Message, ts time.Time) []DNSRecord {
 	}
 	return out
 }
-
-// AddrKey normalizes an address to the canonical map-key form used across
-// the correlator (netip's canonical string).
-func AddrKey(a netip.Addr) string { return a.String() }

@@ -447,17 +447,6 @@ func TestFileSources(t *testing.T) {
 	}
 }
 
-func TestAddrKey(t *testing.T) {
-	a := netip.MustParseAddr("198.51.100.7")
-	if AddrKey(a) != "198.51.100.7" {
-		t.Fatalf("AddrKey = %q", AddrKey(a))
-	}
-	// v6 canonicalization
-	b := netip.MustParseAddr("2001:0db8:0000:0000:0000:0000:0000:0001")
-	if AddrKey(b) != "2001:db8::1" {
-		t.Fatalf("AddrKey v6 = %q", AddrKey(b))
-	}
-}
 
 func TestFlowUDPIngestIPFIX(t *testing.T) {
 	in := newTestIngest(16, 16)

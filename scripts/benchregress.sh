@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# benchregress.sh — fail when HEAD regresses the hot-path benchmarks
+# against a base ref by more than the tolerance.
+#
+# Usage: scripts/benchregress.sh [base-ref]     (default: origin/main)
+#
+# Runs BenchmarkCorrelate and BenchmarkSinkWrite on HEAD and on the base
+# ref (in a temporary git worktree), prints a benchstat comparison when
+# benchstat is installed, and compares per-benchmark median ns/op with a
+# plain awk check: a benchmark present in both runs that is more than
+# TOLERANCE (default 1.20 = +20% time, ≈ -17% throughput) slower fails the
+# script. Benchmarks that exist only on HEAD (newly added) are skipped.
+#
+# Tunables via environment: BENCHES, COUNT, BENCHTIME, TOLERANCE.
+set -euo pipefail
+
+BASE_REF=${1:-origin/main}
+BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$'}
+COUNT=${COUNT:-6}
+BENCHTIME=${BENCHTIME:-300ms}
+TOLERANCE=${TOLERANCE:-1.20}
+
+repo_root=$(git rev-parse --show-toplevel)
+cd "$repo_root"
+
+tmp=$(mktemp -d)
+cleanup() {
+    git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+run_bench() {
+    (cd "$1" && go test -run '^$' -bench "$BENCHES" -benchmem \
+        -benchtime "$BENCHTIME" -count "$COUNT" .)
+}
+
+echo "==> benchmarks @ HEAD ($(git rev-parse --short HEAD))"
+run_bench "$repo_root" | tee "$tmp/head.txt"
+
+echo "==> benchmarks @ $BASE_REF"
+git worktree add --quiet --detach "$tmp/base" "$BASE_REF"
+run_bench "$tmp/base" | tee "$tmp/base.txt"
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo "==> benchstat $BASE_REF → HEAD"
+    benchstat "$tmp/base.txt" "$tmp/head.txt" || true
+fi
+
+# Median ns/op per benchmark name from a `go test -bench` output file.
+medians() {
+    awk '/^Benchmark/ {
+        for (i = 2; i <= NF; i++) if ($i == "ns/op") {
+            n[$1]++
+            v[$1 "," n[$1]] = $(i - 1)
+        }
+    }
+    END {
+        for (b in n) {
+            c = n[b]
+            for (i = 1; i <= c; i++) a[i] = v[b "," i]
+            # insertion sort; counts are tiny
+            for (i = 2; i <= c; i++) {
+                x = a[i]
+                for (j = i - 1; j >= 1 && a[j] > x; j--) a[j + 1] = a[j]
+                a[j + 1] = x
+            }
+            m = (c % 2) ? a[(c + 1) / 2] : (a[c / 2] + a[c / 2 + 1]) / 2
+            print b, m
+        }
+    }' "$1"
+}
+
+medians "$tmp/base.txt" | sort > "$tmp/base.med"
+medians "$tmp/head.txt" | sort > "$tmp/head.med"
+
+echo "==> regression check (tolerance ${TOLERANCE}x median ns/op)"
+fail=0
+while read -r name base_med; do
+    head_med=$(awk -v n="$name" '$1 == n { print $2 }' "$tmp/head.med")
+    [ -z "$head_med" ] && continue # benchmark removed on HEAD
+    if awk -v b="$base_med" -v h="$head_med" -v t="$TOLERANCE" \
+        'BEGIN { exit !(h > b * t) }'; then
+        printf 'REGRESSION %s: %s -> %s ns/op (>%sx)\n' \
+            "$name" "$base_med" "$head_med" "$TOLERANCE"
+        fail=1
+    else
+        printf 'ok %s: %s -> %s ns/op\n' "$name" "$base_med" "$head_med"
+    fi
+done < "$tmp/base.med"
+
+exit $fail
