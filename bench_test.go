@@ -17,14 +17,18 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/bgp"
 	"repro/internal/core"
+	"repro/internal/dbl"
 	"repro/internal/dnswire"
 	"repro/internal/experiments"
 	"repro/internal/netflow"
+	"repro/internal/rollup"
 	"repro/internal/stream"
 )
 
@@ -244,6 +248,96 @@ func BenchmarkPipelineBatchedWrites(b *testing.B) {
 		})
 	}
 }
+// BenchmarkRollupObserve measures the attribution-rollup hot path. It is
+// part of the benchstat-guarded set (scripts/benchregress.sh): the rollup
+// sink rides the Write stage of every flow, so a regression here is a
+// regression of the whole pipeline's ceiling. All three variants must
+// report 0 allocs/op — the hit path (window and key already seen on the
+// shard) is allocation-free by design.
+//
+//   - engine: Rollup.Observe alone, single shard.
+//   - sink: the full attributed path per record — BGP longest-prefix match
+//     on the source address, blocklist category for the service, Observe —
+//     through Sink.WriteBatch in deployment-sized batches.
+//   - engine/parallel: concurrent observers on distinct shards (the
+//     per-worker shard assignment), checking the no-contention claim.
+func BenchmarkRollupObserve(b *testing.B) {
+	t0 := time.Unix(1653475200, 0)
+	const services = 512
+	keys := make([]rollup.Key, services)
+	for i := range keys {
+		keys[i] = rollup.Key{
+			Service:  fmt.Sprintf("svc%d.example", i),
+			ASN:      uint32(64500 + i%16),
+			Category: dbl.Category(i % 6),
+		}
+	}
+
+	b.Run("engine", func(b *testing.B) {
+		r := rollup.New(time.Minute, 8)
+		for _, k := range keys {
+			r.Observe(0, t0, k, 1, 1) // seed the hit path
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Observe(0, t0, keys[i%services], 1500, 10)
+		}
+	})
+
+	b.Run("sink", func(b *testing.B) {
+		table := bgp.NewTable()
+		list := dbl.NewList()
+		flows := benchCorrelatedFlows(4096)
+		for i := range flows {
+			prefix, err := flows[i].Flow.SrcIP.Prefix(24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := table.Insert(prefix, uint32(64500+i%16)); err != nil {
+				b.Fatal(err)
+			}
+			if i%7 == 0 {
+				list.Add(flows[i].Name, dbl.Spam)
+			}
+		}
+		table.Freeze()
+		r := rollup.New(time.Minute, 8)
+		sink := rollup.NewSink(r, rollup.WithTable(table), rollup.WithBlocklist(list))
+		ctx := context.Background()
+		for s := 0; s < r.Shards(); s++ {
+			sink.WriteBatch(ctx, flows) // seed every shard's hit path
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += 256 {
+			off := (i / 256 * 256) % 4096
+			if err := sink.WriteBatch(ctx, flows[off:off+256]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("engine/parallel", func(b *testing.B) {
+		r := rollup.New(time.Minute, 2*runtime.GOMAXPROCS(0))
+		for s := 0; s < r.Shards(); s++ {
+			for _, k := range keys {
+				r.Observe(s, t0, k, 1, 1)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			shard := r.NextShard() // one shard per observer, as the sink assigns
+			i := 0
+			for pb.Next() {
+				r.Observe(shard, t0, keys[i%services], 1500, 10)
+				i++
+			}
+		})
+	})
+}
+
 // BenchmarkCorrelate measures the LookUp hot path in isolation: the cost of
 // resolving one flow against a populated IP-NAME store (Algorithm 2), serial
 // and under full multi-core contention. The parallel variant is the number

@@ -26,14 +26,18 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/bgp"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dbl"
+	"repro/internal/rollup"
 	"repro/internal/stream"
 )
 
@@ -54,6 +58,14 @@ func main() {
 		flushEvery    = flag.Duration("flush-interval", core.DefaultWriteFlushInterval, "max wait for a write batch to fill")
 		statsInterval = flag.Duration("stats-interval", 30*time.Second, "stats reporting interval")
 		skipMisses    = flag.Bool("skip-misses", false, "do not write rows for uncorrelated flows")
+
+		rollupOn     = flag.Bool("rollup", false, "enable online attribution rollups (service × origin-AS × DBL category)")
+		window       = flag.Duration("window", rollup.DefaultWindow, "rollup window rotation interval (whole seconds)")
+		rollupOut    = flag.String("rollup-out", "rollups.tsv", "sealed rollup window export file ('-' = stdout, '' = none)")
+		rollupFormat = flag.String("rollup-format", "tsv", "rollup export format: tsv, json")
+		rollupHTTP   = flag.String("rollup-http", "", "listen address for the /rollups live snapshot endpoint ('' = disabled)")
+		bgpTablePath = flag.String("bgp-table", "", "prefix→origin-ASN file for rollup AS attribution")
+		dblPath      = flag.String("dbl", "", "domain blocklist file for rollup DBL-category attribution")
 	)
 	flag.Parse()
 
@@ -66,11 +78,16 @@ func main() {
 		return
 	}
 
-	cfg, outputs := loadConfig(*configPath, configFlags{
+	cfg, outputs, rcfg := loadConfig(*configPath, configFlags{
 		variant: *variant, lanes: *lanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
 		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery,
 		dnsListen: dnsListen, netflowListen: netflowListen,
 		out: *out, sink: *sinkName, skipMisses: *skipMisses,
+		rollup: config.RollupConfig{
+			Enabled: *rollupOn, WindowSeconds: windowSeconds(*window),
+			Path: *rollupOut, Format: *rollupFormat, HTTP: *rollupHTTP,
+			BGPTable: *bgpTablePath, Blocklist: *dblPath,
+		},
 	})
 
 	sink, closeFiles, err := buildSink(outputs)
@@ -78,6 +95,32 @@ func main() {
 		log.Fatalf("flowdns: %v", err)
 	}
 	defer closeFiles()
+
+	// Stack the attribution rollup sink on top of the configured outputs;
+	// the engine handle stays local for the /rollups snapshot endpoint.
+	var engine *rollup.Rollup
+	if rcfg.Enabled {
+		var closeRollup func()
+		engine, sink, closeRollup, err = buildRollup(rcfg, sink, outputs)
+		if err != nil {
+			log.Fatalf("flowdns: %v", err)
+		}
+		defer closeRollup()
+		if rcfg.HTTP != "" {
+			ln, err := net.Listen("tcp", rcfg.HTTP)
+			if err != nil {
+				log.Fatalf("flowdns: rollup http listen %s: %v", rcfg.HTTP, err)
+			}
+			mux := http.NewServeMux()
+			mux.Handle("/rollups", rollup.Handler(engine))
+			log.Printf("flowdns: rollup snapshots on http://%s/rollups", ln.Addr())
+			go func() {
+				if err := http.Serve(ln, mux); err != nil {
+					log.Printf("flowdns: rollup http: %v", err)
+				}
+			}()
+		}
+	}
 
 	// Wire sources: every DNS listen address accepts any number of stream
 	// connections; every NetFlow address is one collector socket.
@@ -107,8 +150,8 @@ func main() {
 		core.WithSources(sources...),
 		core.WithMetrics(*statsInterval, logStats),
 	)
-	log.Printf("flowdns: running (variant=%s, lanes=%d, sink=%s, batch=%d)",
-		*variant, c.Lanes(), *sinkName, cfg.WriteBatchSize)
+	log.Printf("flowdns: running (variant=%s, lanes=%d, sink=%s, batch=%d, rollup=%v)",
+		*variant, c.Lanes(), *sinkName, cfg.WriteBatchSize, engine != nil)
 	if err := c.Run(ctx); err != nil {
 		log.Fatalf("flowdns: %v", err)
 	}
@@ -125,11 +168,12 @@ type configFlags struct {
 	dnsListen, netflowListen *string
 	out, sink                string
 	skipMisses               bool
+	rollup                   config.RollupConfig
 }
 
-// loadConfig resolves the correlator config and output list from the
-// config file when given, from flags otherwise.
-func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig) {
+// loadConfig resolves the correlator config, output list, and rollup
+// settings from the config file when given, from flags otherwise.
+func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig, config.RollupConfig) {
 	if path == "" {
 		cfg := core.ConfigForVariant(core.Variant(f.variant))
 		cfg.Lanes = f.lanes
@@ -138,7 +182,7 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig)
 		cfg.WriteWorkers = f.writeWorkers
 		cfg.WriteBatchSize = f.batchSize
 		cfg.WriteFlushInterval = f.flushEvery
-		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses}}
+		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses}}, f.rollup
 	}
 	file, err := config.Load(path)
 	if err != nil {
@@ -163,7 +207,78 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig)
 	if outputs[0].Path == "" && outputs[0].NeedsWriter() {
 		outputs[0].Path = f.out
 	}
-	return cfg, outputs
+	return cfg, outputs, file.Rollup
+}
+
+// windowSeconds converts the -window duration to the config field's whole
+// seconds, rounding fractional requests up (as rollup.New documents)
+// rather than truncating toward 0 (which would mean "use the default").
+// Negative values are rejected, matching the config-file validation.
+func windowSeconds(d time.Duration) int {
+	if d < 0 {
+		log.Fatalf("flowdns: negative -window %v", d)
+	}
+	return int((d + time.Second - 1) / time.Second)
+}
+
+// buildRollup constructs the attribution rollup engine and its sink, and
+// stacks the sink on top of base through the multi-sink. The returned
+// cleanup closes the export file after the pipeline has drained.
+func buildRollup(rc config.RollupConfig, base core.Sink, outputs []config.OutputConfig) (*rollup.Rollup, core.Sink, func(), error) {
+	format, err := rollup.ParseFormat(rc.Format)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	engine := rollup.New(rc.Window(), rc.Shards)
+	opts := []rollup.SinkOption{rollup.WithRotation(rc.Window())}
+	if rc.BGPTable != "" {
+		table, err := bgp.LoadTable(rc.BGPTable)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		table.Freeze() // build-then-read: the sink's Write workers only read
+		opts = append(opts, rollup.WithTable(table))
+		log.Printf("flowdns: rollup: %d BGP prefixes loaded from %s", table.Len(), rc.BGPTable)
+	}
+	if rc.Blocklist != "" {
+		list, err := dbl.LoadList(rc.Blocklist)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		opts = append(opts, rollup.WithBlocklist(list))
+		log.Printf("flowdns: rollup: %d blocklisted domains loaded from %s", list.Len(), rc.Blocklist)
+	}
+	cleanup := func() {}
+	switch rc.Path {
+	case "":
+		// No file export: windows reachable via /rollups until sealed.
+	case "-":
+		// Same rule buildSink enforces: two independently buffered writers
+		// on stdout would interleave rows mid-line.
+		for _, o := range outputs {
+			if o.NeedsWriter() && (o.Path == "" || o.Path == "-") {
+				return nil, nil, nil, errors.New("rollup export and an output sink both write to stdout")
+			}
+		}
+		opts = append(opts, rollup.WithExport(os.Stdout, format))
+	default:
+		for _, o := range outputs {
+			if o.Path == rc.Path {
+				return nil, nil, nil, fmt.Errorf("rollup export path %q already used by an output sink", rc.Path)
+			}
+		}
+		f, err := os.Create(rc.Path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cleanup = func() { f.Close() }
+		opts = append(opts, rollup.WithExport(f, format))
+	}
+	rsink := rollup.NewSink(engine, opts...)
+	if ms, ok := base.(core.MultiSink); ok {
+		return engine, append(ms, rsink), cleanup, nil
+	}
+	return engine, core.MultiSink{base, rsink}, cleanup, nil
 }
 
 // buildSink constructs the configured sink(s); several outputs fan out

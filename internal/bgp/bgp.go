@@ -10,21 +10,39 @@
 package bgp
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net/netip"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Table is a longest-prefix-match table from IP prefixes to origin ASNs.
 // It holds separate tries for IPv4 and IPv6. The zero value is not usable;
-// use NewTable. Concurrent readers are safe once the table is built;
-// Insert is not safe concurrently with Lookup.
+// use NewTable.
+//
+// Concurrency contract (build-then-read): a Table has two phases. During
+// the build phase one goroutine Inserts; no Lookups may run. Once built,
+// any number of goroutines may Lookup concurrently forever — but no
+// further Inserts. Freeze enforces the phase switch: after Freeze, Insert
+// fails with ErrFrozen without touching the trie, so a mistaken late
+// insert can never race the pipeline's readers. The pipeline lifecycle is
+// exactly this shape: load the table at startup, Freeze it, then hand it
+// to the rollup sink's Write workers.
 type Table struct {
-	v4   *node
-	v6   *node
-	size int
+	v4     *node
+	v6     *node
+	size   int
+	frozen atomic.Bool
 }
+
+// ErrFrozen is returned by Insert after Freeze.
+var ErrFrozen = errors.New("bgp: table is frozen (build-then-read: no inserts after Freeze)")
 
 type node struct {
 	child [2]*node
@@ -37,9 +55,19 @@ func NewTable() *Table {
 	return &Table{v4: &node{}, v6: &node{}}
 }
 
+// Freeze ends the build phase: every later Insert fails with ErrFrozen.
+// Call it once the table is fully loaded, before sharing it with readers.
+func (t *Table) Freeze() { t.frozen.Store(true) }
+
+// Frozen reports whether Freeze has been called.
+func (t *Table) Frozen() bool { return t.frozen.Load() }
+
 // Insert adds prefix → asn, replacing any previous entry for the exact
-// prefix. Invalid prefixes are rejected.
+// prefix. Invalid prefixes are rejected, as is any insert after Freeze.
 func (t *Table) Insert(prefix netip.Prefix, asn uint32) error {
+	if t.frozen.Load() {
+		return ErrFrozen
+	}
 	if !prefix.IsValid() {
 		return fmt.Errorf("bgp: invalid prefix %v", prefix)
 	}
@@ -120,6 +148,57 @@ func Build(assignments []Assignment) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// ParseTable reads a prefix→origin-ASN table in the plain text form a RIB
+// dump reduces to: one "prefix asn" pair per line (whitespace separated,
+// the ASN with or without an "AS" prefix), '#' comments and blank lines
+// skipped. The returned table is NOT frozen — callers append local
+// overrides first, then Freeze before handing it to readers.
+func ParseTable(r io.Reader) (*Table, error) {
+	t := NewTable()
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bgp: line %d: want \"prefix asn\", got %q", ln, line)
+		}
+		prefix, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", ln, err)
+		}
+		asnText := fields[1]
+		if len(asnText) > 2 && (asnText[0] == 'A' || asnText[0] == 'a') && (asnText[1] == 'S' || asnText[1] == 's') {
+			asnText = asnText[2:]
+		}
+		asn, err := strconv.ParseUint(asnText, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: bad ASN %q: %w", ln, fields[1], err)
+		}
+		if err := t.Insert(prefix, uint32(asn)); err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %w", ln, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bgp: %w", err)
+	}
+	return t, nil
+}
+
+// LoadTable reads a prefix→ASN table file (see ParseTable for the format).
+func LoadTable(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: %w", err)
+	}
+	defer f.Close()
+	return ParseTable(f)
 }
 
 // ASTraffic accumulates per-AS byte counts — the Fig 4 series "cumulative

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rollup"
 )
 
 // File is the top-level configuration document.
@@ -32,6 +33,9 @@ type File struct {
 	Outputs []OutputConfig `json:"outputs,omitempty"`
 	// Correlator tunes the core pipeline.
 	Correlator CorrelatorConfig `json:"correlator"`
+	// Rollup configures the online attribution rollups (§5 use cases
+	// computed in-pipeline; see internal/rollup). Disabled by default.
+	Rollup RollupConfig `json:"rollup"`
 }
 
 // StreamConfig describes one input stream.
@@ -67,6 +71,38 @@ func (o OutputConfig) NewSink(w io.Writer) (core.Sink, error) {
 // metadata. Writer-less sinks (counting, discard) must not be given a
 // Path — the file would be created and left empty.
 func (o OutputConfig) NeedsWriter() bool { return core.SinkNeedsWriter(o.Sink) }
+
+// RollupConfig configures the streaming attribution-rollup sink, which
+// stacks on top of the configured outputs through the multi-sink.
+type RollupConfig struct {
+	// Enabled turns the rollup sink on.
+	Enabled bool `json:"enabled"`
+	// WindowSeconds is the rotation interval; 0 = 60 s.
+	WindowSeconds int `json:"window_seconds"`
+	// Shards is the counter shard count; 0 = default (8).
+	Shards int `json:"shards"`
+	// Path receives sealed windows ("-" = stdout, "" = no file export).
+	Path string `json:"path"`
+	// Format is the sealed-window encoding: "tsv" (default) or "json".
+	Format string `json:"format"`
+	// BGPTable is a "prefix asn" file enabling origin-AS attribution
+	// (empty = every flow under ASN 0).
+	BGPTable string `json:"bgp_table"`
+	// Blocklist is a "domain [category]" file enabling DBL-category
+	// attribution (empty = every service benign).
+	Blocklist string `json:"blocklist"`
+	// HTTP is the listen address of the /rollups live-snapshot endpoint
+	// ("" = disabled).
+	HTTP string `json:"http"`
+}
+
+// Window returns the rotation interval as a duration.
+func (rc RollupConfig) Window() time.Duration {
+	if rc.WindowSeconds <= 0 {
+		return rollup.DefaultWindow
+	}
+	return time.Duration(rc.WindowSeconds) * time.Second
+}
 
 // CorrelatorConfig mirrors the tunable subset of core.Config.
 type CorrelatorConfig struct {
@@ -141,6 +177,17 @@ func Parse(data []byte) (*File, error) {
 		}
 		if !o.NeedsWriter() && o.Path != "" && o.Path != "-" {
 			return nil, fmt.Errorf("config: %s: sink %q does not write to a file; remove path %q", field, o.Sink, o.Path)
+		}
+	}
+	if f.Rollup.Enabled {
+		if _, err := rollup.ParseFormat(f.Rollup.Format); err != nil {
+			return nil, fmt.Errorf("config: rollup: %w", err)
+		}
+		if f.Rollup.WindowSeconds < 0 {
+			return nil, fmt.Errorf("config: rollup: negative window_seconds %d", f.Rollup.WindowSeconds)
+		}
+		if f.Rollup.Shards < 0 {
+			return nil, fmt.Errorf("config: rollup: negative shards %d", f.Rollup.Shards)
 		}
 	}
 	if _, err := f.CoreConfig(); err != nil {
@@ -231,6 +278,15 @@ func Example() *File {
 			{Listen: ":4739", Format: "ipfix"},
 		},
 		Output: OutputConfig{Path: "correlated.tsv", Sink: "tsv"},
+		Rollup: RollupConfig{
+			Enabled:       true,
+			WindowSeconds: 60,
+			Path:          "rollups.tsv",
+			Format:        "tsv",
+			BGPTable:      "bgp-table.txt",
+			Blocklist:     "blocklist.txt",
+			HTTP:          ":8080",
+		},
 		Correlator: CorrelatorConfig{
 			Variant:        "Main",
 			LookupKey:      "source",

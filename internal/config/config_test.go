@@ -165,3 +165,77 @@ func TestVariantMapping(t *testing.T) {
 		}
 	}
 }
+
+func TestRollupConfig(t *testing.T) {
+	doc := `{
+		"dns_streams":[{"listen":":5353"}],
+		"output":{"path":"out.tsv"},
+		"rollup":{
+			"enabled":true,"window_seconds":300,"shards":4,
+			"path":"rollups.jsonl","format":"json",
+			"bgp_table":"table.txt","blocklist":"dbl.txt","http":":8081"
+		}
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Rollup.Enabled || f.Rollup.Window() != 5*time.Minute || f.Rollup.Shards != 4 {
+		t.Fatalf("rollup section = %+v", f.Rollup)
+	}
+	if f.Rollup.Path != "rollups.jsonl" || f.Rollup.Format != "json" || f.Rollup.HTTP != ":8081" {
+		t.Fatalf("rollup outputs = %+v", f.Rollup)
+	}
+	// Default window when unset.
+	if (RollupConfig{}).Window() != time.Minute {
+		t.Fatalf("default window = %v", RollupConfig{}.Window())
+	}
+	// Disabled sections skip validation entirely.
+	if _, err := Parse([]byte(`{
+		"dns_streams":[{"listen":":5353"}],
+		"rollup":{"enabled":false,"format":"yaml"}
+	}`)); err != nil {
+		t.Fatalf("disabled rollup validated: %v", err)
+	}
+}
+
+func TestRollupConfigRejections(t *testing.T) {
+	cases := []struct{ doc, want string }{
+		{`{"dns_streams":[{"listen":":5353"}],"rollup":{"enabled":true,"format":"yaml"}}`,
+			"unknown export format"},
+		{`{"dns_streams":[{"listen":":5353"}],"rollup":{"enabled":true,"window_seconds":-1}}`,
+			"negative window_seconds"},
+		{`{"dns_streams":[{"listen":":5353"}],"rollup":{"enabled":true,"shards":-2}}`,
+			"negative shards"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.doc, err, c.want)
+		}
+	}
+}
+
+// TestRollupSinkRegistered checks the registry integration end to end from
+// the config layer: importing the rollup package (as the daemon does)
+// makes "rollup" a legal sink name in outputs.
+func TestRollupSinkRegistered(t *testing.T) {
+	doc := `{
+		"dns_streams":[{"listen":":5353"}],
+		"output":{"path":"rollups.tsv","sink":"rollup"}
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Output.NeedsWriter() {
+		t.Fatal("rollup sink should need a writer")
+	}
+	s, err := f.Output.NewSink(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

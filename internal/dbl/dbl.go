@@ -11,6 +11,10 @@
 package dbl
 
 import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
 	"strings"
 	"sync"
 )
@@ -49,6 +53,27 @@ func (c Category) String() string {
 // Categories lists the suspicious categories in the paper's reporting order.
 func Categories() []Category {
 	return []Category{Spam, Botnet, AbusedRedirector, Malware, Phish}
+}
+
+// CategoryFromString resolves a report label (as produced by
+// Category.String) back to its category; ok is false for unknown labels.
+func CategoryFromString(s string) (Category, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "benign":
+		return Benign, true
+	case "spam":
+		return Spam, true
+	case "botnet":
+		return Botnet, true
+	case "abused-redirector":
+		return AbusedRedirector, true
+	case "malware":
+		return Malware, true
+	case "phish":
+		return Phish, true
+	default:
+		return Benign, false
+	}
 }
 
 // List is a categorized domain blocklist with suffix semantics: a listed
@@ -103,6 +128,52 @@ func (l *List) Len() int {
 func normalize(d string) string {
 	d = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(d)), ".")
 	return d
+}
+
+// ParseList reads a blocklist in the plain text form the paper's DBL
+// queries reduce to: one "domain [category]" pair per line (category
+// labels as in Category.String; a bare domain defaults to spam, the
+// dominant class in the paper's sample), '#' comments and blank lines
+// skipped.
+func ParseList(r io.Reader) (*List, error) {
+	l := NewList()
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cat := Spam
+		switch len(fields) {
+		case 1:
+		case 2:
+			c, ok := CategoryFromString(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("dbl: line %d: unknown category %q", ln, fields[1])
+			}
+			cat = c
+		default:
+			return nil, fmt.Errorf("dbl: line %d: want \"domain [category]\", got %q", ln, line)
+		}
+		l.Add(fields[0], cat)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dbl: %w", err)
+	}
+	return l, nil
+}
+
+// LoadList reads a blocklist file (see ParseList for the format).
+func LoadList(path string) (*List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dbl: %w", err)
+	}
+	defer f.Close()
+	return ParseList(f)
 }
 
 // Sampler deduplicates domain names within a sampling window, mirroring the

@@ -1,6 +1,11 @@
 package dbl
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestLookupExactAndSuffix(t *testing.T) {
 	l := NewList()
@@ -90,5 +95,77 @@ func TestSamplerNormalizes(t *testing.T) {
 	s.Checked("A.Example.")
 	if s.Checked("a.example") {
 		t.Fatal("normalization not applied in sampler")
+	}
+}
+
+func TestCategoryFromString(t *testing.T) {
+	for _, c := range append(Categories(), Benign) {
+		got, ok := CategoryFromString(c.String())
+		if !ok || got != c {
+			t.Errorf("CategoryFromString(%q) = %v/%v", c.String(), got, ok)
+		}
+	}
+	if got, ok := CategoryFromString(" SPAM "); !ok || got != Spam {
+		t.Errorf("case/space-insensitive parse = %v/%v", got, ok)
+	}
+	if _, ok := CategoryFromString("ransomware"); ok {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	l, err := ParseList(strings.NewReader(`
+# paper-style sample
+bad.example          spam
+cnc.example          botnet
+redir.example        abused-redirector
+drop.example         malware
+hook.example         phish
+BARE.Example.
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", l.Len())
+	}
+	for domain, want := range map[string]Category{
+		"bad.example":      Spam,
+		"x.cnc.example":    Botnet, // suffix semantics survive the loader
+		"redir.example":    AbusedRedirector,
+		"drop.example":     Malware,
+		"hook.example":     Phish,
+		"bare.example":     Spam, // bare domain defaults to spam
+		"unlisted.example": Benign,
+	} {
+		if got := l.Lookup(domain); got != want {
+			t.Errorf("Lookup(%s) = %v, want %v", domain, got, want)
+		}
+	}
+	for _, bad := range []string{
+		"bad.example ransomware",
+		"bad.example spam extra",
+	} {
+		if _, err := ParseList(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseList(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadList(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dbl.txt")
+	if err := os.WriteFile(path, []byte("bad.example botnet\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := LoadList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Lookup("bad.example"); got != Botnet {
+		t.Fatalf("loaded Lookup = %v", got)
+	}
+	if _, err := LoadList(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }

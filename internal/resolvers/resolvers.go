@@ -32,7 +32,12 @@ var wellKnown = []string{
 	"77.88.8.8", "77.88.8.1",
 }
 
-// Set is a membership set of public resolver addresses.
+// Set is a membership set of public resolver addresses. Addresses are
+// stored in canonical form: IPv4-mapped IPv6 addresses (::ffff:a.b.c.d)
+// unmap to their IPv4 form on the way in and on lookup, so a NetFlow
+// exporter emitting mapped addresses matches the same members. Build the
+// set up front; it is safe for concurrent reads once no more Adds happen
+// (the same build-then-read contract as bgp.Table).
 type Set struct {
 	m map[netip.Addr]struct{}
 }
@@ -41,7 +46,7 @@ type Set struct {
 func NewSet() *Set {
 	s := &Set{m: make(map[netip.Addr]struct{}, len(wellKnown))}
 	for _, a := range wellKnown {
-		s.m[netip.MustParseAddr(a)] = struct{}{}
+		s.Add(netip.MustParseAddr(a))
 	}
 	return s
 }
@@ -49,12 +54,13 @@ func NewSet() *Set {
 // EmptySet returns a set with no entries, for tests and custom lists.
 func EmptySet() *Set { return &Set{m: make(map[netip.Addr]struct{})} }
 
-// Add inserts an address.
-func (s *Set) Add(a netip.Addr) { s.m[a] = struct{}{} }
+// Add inserts an address (4-in-6 mapped forms normalize to IPv4).
+func (s *Set) Add(a netip.Addr) { s.m[a.Unmap()] = struct{}{} }
 
-// Contains reports membership.
+// Contains reports membership; 4-in-6 mapped forms match their IPv4
+// member. Invalid (zero) addresses are never members.
 func (s *Set) Contains(a netip.Addr) bool {
-	_, ok := s.m[a]
+	_, ok := s.m[a.Unmap()]
 	return ok
 }
 

@@ -1,0 +1,114 @@
+package rollup
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sealed windows export in the same two formats the correlated-flow sinks
+// write — TSV rows and JSONL — so the downstream joiners that already
+// consume FlowDNS output can consume rollups with the same tooling.
+//
+// TSV schema, one row per (window, key):
+//
+//	window_start_unix \t window_secs \t service \t asn \t category \t bytes \t packets \t flows
+//
+// Service is "NULL" for uncorrelated traffic, matching the TSV flow sink.
+// Rows follow the window's canonical sort, so equal windows export
+// byte-identical files (the golden-test contract). A window interval can
+// appear more than once in a live export stream — flows arriving after
+// their window was sealed (NetFlow exports trail flow start by the active
+// timeout) re-open it, and the next seal emits another partial — so
+// consumers aggregate rows by (window start, key), the same per-key sum
+// Merge performs.
+
+// AppendTSV formats every row of w onto b.
+func AppendTSV(b []byte, w *Window) []byte {
+	for i := range w.Rows {
+		r := &w.Rows[i]
+		b = strconv.AppendInt(b, w.Start.Unix(), 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, int64(w.Dur.Seconds()), 10)
+		b = append(b, '\t')
+		if r.Service == "" {
+			b = append(b, "NULL"...)
+		} else {
+			b = append(b, r.Service...)
+		}
+		b = append(b, '\t')
+		b = strconv.AppendUint(b, uint64(r.ASN), 10)
+		b = append(b, '\t')
+		b = append(b, r.Category.String()...)
+		b = append(b, '\t')
+		b = strconv.AppendUint(b, r.Bytes, 10)
+		b = append(b, '\t')
+		b = strconv.AppendUint(b, r.Packets, 10)
+		b = append(b, '\t')
+		b = strconv.AppendUint(b, r.Flows, 10)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// WriteTSV writes the windows as TSV rows.
+func WriteTSV(w io.Writer, windows []Window) error {
+	bw := bufio.NewWriter(w)
+	var row []byte
+	for i := range windows {
+		row = AppendTSV(row[:0], &windows[i])
+		if _, err := bw.Write(row); err != nil {
+			return fmt.Errorf("rollup: tsv export: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonWindow is the JSONL wire shape of one sealed window.
+type jsonWindow struct {
+	Start int64     `json:"start"`
+	Secs  int64     `json:"secs"`
+	Rows  []jsonRow `json:"rows"`
+}
+
+type jsonRow struct {
+	Service  string `json:"service,omitempty"`
+	ASN      uint32 `json:"asn,omitempty"`
+	Category string `json:"category,omitempty"`
+	Bytes    uint64 `json:"bytes"`
+	Packets  uint64 `json:"packets"`
+	Flows    uint64 `json:"flows"`
+}
+
+func toJSONWindow(w *Window) jsonWindow {
+	jw := jsonWindow{Start: w.Start.Unix(), Secs: int64(w.Dur.Seconds()), Rows: make([]jsonRow, len(w.Rows))}
+	for i := range w.Rows {
+		r := &w.Rows[i]
+		jw.Rows[i] = jsonRow{
+			Service: r.Service,
+			ASN:     r.ASN,
+			Bytes:   r.Bytes,
+			Packets: r.Packets,
+			Flows:   r.Flows,
+		}
+		if r.Category != 0 {
+			jw.Rows[i].Category = r.Category.String()
+		}
+	}
+	return jw
+}
+
+// WriteJSON writes the windows as JSONL, one window object per line.
+func WriteJSON(w io.Writer, windows []Window) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range windows {
+		jw := toJSONWindow(&windows[i])
+		if err := enc.Encode(&jw); err != nil {
+			return fmt.Errorf("rollup: json export: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,105 @@
+package rollup
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dbl"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the export golden files")
+
+// goldenWindows is a fixed two-window export: the full category alphabet,
+// an uncorrelated row, and multi-window output in one file. Rows are given
+// canonically sorted, as the seal path guarantees.
+func goldenWindows() []Window {
+	start := time.Date(2022, 5, 25, 12, 0, 0, 0, time.UTC)
+	return []Window{
+		{
+			Start: start,
+			Dur:   time.Minute,
+			Rows: []Row{
+				{Key{Service: "", ASN: 0, Category: dbl.Benign}, Counters{Bytes: 512, Packets: 8, Flows: 2}},
+				{Key{Service: "cnc.bad.example", ASN: 64501, Category: dbl.Botnet}, Counters{Bytes: 700, Packets: 7, Flows: 1}},
+				{Key{Service: "redir.example", ASN: 64502, Category: dbl.AbusedRedirector}, Counters{Bytes: 90, Packets: 2, Flows: 1}},
+				{Key{Service: "svc.example", ASN: 64500, Category: dbl.Benign}, Counters{Bytes: 1500, Packets: 15, Flows: 2}},
+			},
+		},
+		{
+			Start: start.Add(time.Minute),
+			Dur:   time.Minute,
+			Rows: []Row{
+				{Key{Service: "drop.example", ASN: 64500, Category: dbl.Malware}, Counters{Bytes: 66, Packets: 1, Flows: 1}},
+				{Key{Service: "hook.example", ASN: 0, Category: dbl.Phish}, Counters{Bytes: 33, Packets: 1, Flows: 1}},
+				{Key{Service: "spam.example", ASN: 64503, Category: dbl.Spam}, Counters{Bytes: 1, Packets: 1, Flows: 1}},
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden:\n got:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestGoldenTSV pins the TSV window export byte for byte. The canonical
+// row sort makes equal windows export identical files — the contract
+// downstream joiners and this golden rely on.
+func TestGoldenTSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, goldenWindows()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "windows.golden.tsv", buf.Bytes())
+}
+
+// TestGoldenJSON pins the JSONL window export byte for byte.
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenWindows()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "windows.golden.jsonl", buf.Bytes())
+}
+
+// TestExportStableUnderMergeOrder ties the golden contract to the merge
+// laws: splitting the golden windows into per-row singletons and merging
+// them back in a different order must export the identical bytes.
+func TestExportStableUnderMergeOrder(t *testing.T) {
+	var direct bytes.Buffer
+	if err := WriteTSV(&direct, goldenWindows()); err != nil {
+		t.Fatal(err)
+	}
+	var remerged []Window
+	for _, w := range goldenWindows() {
+		acc := Window{Start: w.Start, Dur: w.Dur}
+		for i := len(w.Rows) - 1; i >= 0; i-- { // reversed singleton order
+			acc = Merge(acc, Window{Start: w.Start, Dur: w.Dur, Rows: []Row{w.Rows[i]}})
+		}
+		remerged = append(remerged, acc)
+	}
+	var viaMerge bytes.Buffer
+	if err := WriteTSV(&viaMerge, remerged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), viaMerge.Bytes()) {
+		t.Fatalf("merge order changed the export:\n%s\nvs\n%s", direct.Bytes(), viaMerge.Bytes())
+	}
+}

@@ -1,0 +1,212 @@
+package rollup
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/netip"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/dbl"
+	"repro/internal/netflow"
+)
+
+func testFlow(ts time.Time, src string, bytes, packets uint64, name string) core.CorrelatedFlow {
+	return core.CorrelatedFlow{
+		Flow: netflow.FlowRecord{
+			Timestamp: ts,
+			SrcIP:     netip.MustParseAddr(src),
+			DstIP:     netip.MustParseAddr("10.0.0.1"),
+			SrcPort:   443, DstPort: 50000, Proto: netflow.ProtoTCP,
+			Bytes: bytes, Packets: packets,
+		},
+		Name: name,
+	}
+}
+
+// TestSinkAttribution drives the full attribution path: service from the
+// correlation result, ASN from the BGP table, category from the blocklist,
+// uncorrelated flows under the zero key.
+func TestSinkAttribution(t *testing.T) {
+	table := bgp.NewTable()
+	if err := table.Insert(netip.MustParsePrefix("198.51.100.0/24"), 64500); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Insert(netip.MustParsePrefix("203.0.113.0/24"), 64501); err != nil {
+		t.Fatal(err)
+	}
+	table.Freeze()
+	list := dbl.NewList()
+	list.Add("bad.example", dbl.Botnet)
+
+	eng := New(time.Minute, 2)
+	sink := NewSink(eng, WithTable(table), WithBlocklist(list))
+	batch := []core.CorrelatedFlow{
+		testFlow(t0, "198.51.100.1", 1000, 10, "svc.example"),
+		testFlow(t0, "198.51.100.2", 500, 5, "svc.example"),
+		testFlow(t0, "203.0.113.9", 700, 7, "cnc.bad.example"), // suffix-listed
+		testFlow(t0, "192.0.2.50", 300, 3, ""),                 // uncorrelated, unroutable
+	}
+	if err := sink.WriteBatch(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	windows := eng.SealAll()
+	if len(windows) != 1 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	want := []Row{
+		{Key{"", 0, dbl.Benign}, Counters{300, 3, 1}},
+		{Key{"cnc.bad.example", 64501, dbl.Botnet}, Counters{700, 7, 1}},
+		{Key{"svc.example", 64500, dbl.Benign}, Counters{1500, 15, 2}},
+	}
+	if !reflect.DeepEqual(windows[0].Rows, want) {
+		t.Fatalf("rows:\n got %+v\nwant %+v", windows[0].Rows, want)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSinkWithoutAttributors checks the plain variant: everything under
+// ASN 0 / Benign, keyed by service alone.
+func TestSinkWithoutAttributors(t *testing.T) {
+	eng := New(time.Minute, 1)
+	sink := NewSink(eng)
+	sink.WriteBatch(context.Background(), []core.CorrelatedFlow{
+		testFlow(t0, "198.51.100.1", 42, 1, "svc.example"),
+	})
+	w := eng.SealAll()
+	if len(w) != 1 || len(w[0].Rows) != 1 {
+		t.Fatalf("windows = %+v", w)
+	}
+	if r := w[0].Rows[0]; r.Key != (Key{Service: "svc.example"}) || r.Bytes != 42 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+// TestSinkCloseSealsAndExports checks the drain contract: Close seals the
+// partial window, exports it, and leaves the engine empty.
+func TestSinkCloseSealsAndExports(t *testing.T) {
+	var buf bytes.Buffer
+	var sealed [][]Window
+	eng := New(time.Minute, 2)
+	sink := NewSink(eng,
+		WithExport(&buf, FormatTSV),
+		WithOnSeal(func(ws []Window) { sealed = append(sealed, ws) }))
+	sink.WriteBatch(context.Background(), []core.CorrelatedFlow{
+		testFlow(t0, "198.51.100.1", 1000, 10, "svc.example"),
+	})
+	if buf.Len() != 0 {
+		t.Fatal("exported before any seal")
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 1 || len(sealed[0]) != 1 {
+		t.Fatalf("onSeal batches = %+v", sealed)
+	}
+	line := strings.TrimSpace(buf.String())
+	want := "1653480000\t60\tsvc.example\t0\tbenign\t1000\t10\t1"
+	if line != want {
+		t.Fatalf("export:\n got %q\nwant %q", line, want)
+	}
+	if eng.SealAll() != nil {
+		t.Fatal("engine not drained by Close")
+	}
+	// Close is idempotent.
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSinkRotation checks the wall-clock sealing loop: windows whose end
+// is older than the grace period are exported without any Close.
+func TestSinkRotation(t *testing.T) {
+	var mu chanBuf
+	eng := New(time.Second, 2)
+	sink := NewSink(eng,
+		WithRotation(10*time.Millisecond),
+		WithOnSeal(func(ws []Window) { mu.add(len(ws)) }))
+	defer sink.Close()
+	// A flow timestamped far in the past: its window ended long before
+	// now-grace, so the first ticks must seal it.
+	sink.WriteBatch(context.Background(), []core.CorrelatedFlow{
+		testFlow(t0, "198.51.100.1", 1, 1, "svc.example"),
+	})
+	deadline := time.After(5 * time.Second)
+	for mu.total() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("rotation never sealed the stale window")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if snap := eng.Snapshot(); len(snap) != 0 {
+		t.Fatalf("sealed window still live: %+v", snap)
+	}
+}
+
+// chanBuf is a tiny mutex counter for cross-goroutine seal observations.
+type chanBuf struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *chanBuf) add(n int) { c.mu.Lock(); c.n += n; c.mu.Unlock() }
+func (c *chanBuf) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// TestSinkExportError checks that a failing export writer surfaces at
+// Close instead of being dropped.
+func TestSinkExportError(t *testing.T) {
+	eng := New(time.Minute, 1)
+	sink := NewSink(eng, WithExport(failWriter{}, FormatJSON))
+	sink.WriteBatch(context.Background(), []core.CorrelatedFlow{
+		testFlow(t0, "198.51.100.1", 1, 1, "svc.example"),
+	})
+	if err := sink.Close(); err == nil {
+		t.Fatal("export error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = errors.New("sealed writer failure")
+
+// TestRegistrySink checks the sink-registry integration: "rollup" is
+// selectable by name, needs a writer, and exports TSV windows on Close.
+func TestRegistrySink(t *testing.T) {
+	if !core.SinkNeedsWriter("rollup") {
+		t.Fatal("rollup sink must declare a writer")
+	}
+	var buf bytes.Buffer
+	s, err := core.NewSinkByName("rollup", core.SinkOptions{W: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBatch(context.Background(), []core.CorrelatedFlow{
+		testFlow(t0, "198.51.100.1", 9000, 9, "svc.example"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "svc.example\t0\tbenign\t9000\t9\t1") {
+		t.Fatalf("registry export = %q", buf.String())
+	}
+	if _, err := core.NewSinkByName("rollup", core.SinkOptions{}); err == nil {
+		t.Fatal("writer-less rollup accepted")
+	}
+}

@@ -4,8 +4,9 @@
 #
 # Usage: scripts/benchregress.sh [base-ref]     (default: origin/main)
 #
-# Runs BenchmarkCorrelate and BenchmarkSinkWrite on HEAD and on the base
-# ref (in a temporary git worktree), prints a benchstat comparison when
+# Runs BenchmarkCorrelate, BenchmarkSinkWrite, and BenchmarkRollupObserve
+# on HEAD and on the base ref (in a temporary git worktree), prints a
+# benchstat comparison when
 # benchstat is installed, and compares per-benchmark median ns/op with a
 # plain awk check: a benchmark present in both runs that is more than
 # TOLERANCE (default 1.20 = +20% time, ≈ -17% throughput) slower fails the
@@ -15,7 +16,7 @@
 set -euo pipefail
 
 BASE_REF=${1:-origin/main}
-BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$'}
+BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$'}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-300ms}
 TOLERANCE=${TOLERANCE:-1.20}
