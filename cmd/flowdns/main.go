@@ -51,6 +51,7 @@ func main() {
 		sinkName      = flag.String("sink", "tsv", "output sink: "+strings.Join(core.SinkNames(), ", "))
 		variant       = flag.String("variant", "Main", "benchmark variant: Main, NoSplit, NoClearUp, NoRotation, NoLong, ExactTTL")
 		lanes         = flag.Int("lanes", 0, "correlation lanes (flows partitioned by dst IP; 0 = one lane per split)")
+		fillLanes     = flag.Int("fill-lanes", 0, "fill lanes (DNS records partitioned by answer IP; 0 = mirror -lanes)")
 		fillWorkers   = flag.Int("fillup-workers", 4, "FillUp workers")
 		lookWorkers   = flag.Int("lookup-workers", core.DefaultNumSplit, "LookUp workers (distributed across lanes, min one per lane)")
 		writeWorkers  = flag.Int("write-workers", 2, "Write workers")
@@ -79,7 +80,7 @@ func main() {
 	}
 
 	cfg, outputs, rcfg := loadConfig(*configPath, configFlags{
-		variant: *variant, lanes: *lanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
+		variant: *variant, lanes: *lanes, fillLanes: *fillLanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
 		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery,
 		dnsListen: dnsListen, netflowListen: netflowListen,
 		out: *out, sink: *sinkName, skipMisses: *skipMisses,
@@ -150,8 +151,8 @@ func main() {
 		core.WithSources(sources...),
 		core.WithMetrics(*statsInterval, logStats),
 	)
-	log.Printf("flowdns: running (variant=%s, lanes=%d, sink=%s, batch=%d, rollup=%v)",
-		*variant, c.Lanes(), *sinkName, cfg.WriteBatchSize, engine != nil)
+	log.Printf("flowdns: running (variant=%s, lanes=%d, fill-lanes=%d, sink=%s, batch=%d, rollup=%v)",
+		*variant, c.Lanes(), c.FillLanes(), *sinkName, cfg.WriteBatchSize, engine != nil)
 	if err := c.Run(ctx); err != nil {
 		log.Fatalf("flowdns: %v", err)
 	}
@@ -161,7 +162,7 @@ func main() {
 // configFlags carries the flag values that a -config file overrides.
 type configFlags struct {
 	variant                  string
-	lanes                    int
+	lanes, fillLanes         int
 	fillWorkers, lookWorkers int
 	writeWorkers, batchSize  int
 	flushEvery               time.Duration
@@ -177,6 +178,7 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 	if path == "" {
 		cfg := core.ConfigForVariant(core.Variant(f.variant))
 		cfg.Lanes = f.lanes
+		cfg.FillLanes = f.fillLanes
 		cfg.FillUpWorkers = f.fillWorkers
 		cfg.LookUpWorkers = f.lookWorkers
 		cfg.WriteWorkers = f.writeWorkers

@@ -138,11 +138,14 @@ func toMessage(recs []stream.DNSRecord) *dnswire.Message {
 		case dnswire.TypeCNAME:
 			r.Target = rec.Answer
 		default:
-			addr, err := parseAddr(rec.Answer)
-			if err != nil {
-				continue
+			r.Addr = rec.Addr
+			if !r.Addr.IsValid() {
+				addr, err := parseAddr(rec.Answer)
+				if err != nil {
+					continue
+				}
+				r.Addr = addr
 			}
-			r.Addr = addr
 		}
 		m.Answers = append(m.Answers, r)
 	}

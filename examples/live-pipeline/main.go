@@ -143,11 +143,14 @@ func assemble(recs []stream.DNSRecord) *dnswire.Message {
 		if rec.RType == dnswire.TypeCNAME {
 			r.Target = rec.Answer
 		} else {
-			addr, err := parseAddr(rec.Answer)
-			if err != nil {
-				continue
+			r.Addr = rec.Addr
+			if !r.Addr.IsValid() {
+				addr, err := parseAddr(rec.Answer)
+				if err != nil {
+					continue
+				}
+				r.Addr = addr
 			}
-			r.Addr = addr
 		}
 		m.Answers = append(m.Answers, r)
 	}

@@ -33,10 +33,19 @@ func TestLoopbackPipeline(t *testing.T) {
 	}
 
 	sink := core.NewCountingSink()
-	c := core.New(core.DefaultConfig(),
+	// The full sharded topology: DNS TCP stream → 8 fill lanes (parallel
+	// batched FillUp) → 8 correlation lanes → sink.
+	cfg := core.DefaultConfig()
+	cfg.Lanes = 8
+	cfg.FillLanes = 8
+	cfg.FillUpWorkers = 8
+	c := core.New(cfg,
 		core.WithSink(sink),
 		core.WithSources(stream.NewDNSListener(dnsLn), stream.NewFlowUDPSource(nfConn)),
 	)
+	if c.Lanes() != 8 || c.FillLanes() != 8 {
+		t.Fatalf("lanes = %d, fill lanes = %d", c.Lanes(), c.FillLanes())
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	runDone := make(chan error, 1)
 	go func() { runDone <- c.Run(ctx) }()
@@ -306,11 +315,10 @@ func TestWireFidelity(t *testing.T) {
 		if rec.RType == dnswire.TypeCNAME {
 			r.Target = rec.Answer
 		} else {
-			addr, err := netip.ParseAddr(rec.Answer)
-			if err != nil {
-				t.Fatalf("generator emitted unparsable answer %q", rec.Answer)
+			if !rec.Addr.IsValid() {
+				t.Fatalf("generator emitted A/AAAA record without typed address: %+v", rec)
 			}
-			r.Addr = addr
+			r.Addr = rec.Addr
 		}
 		msg.Answers = []dnswire.Record{r}
 		wire, err := dnswire.Encode(msg)

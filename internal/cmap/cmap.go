@@ -19,9 +19,13 @@ import (
 // upstream concurrent-map default.
 const DefaultShardCount = 32
 
-// Map is a sharded concurrent map from string keys to string values.
-// FlowDNS stores DNS answer→query mappings, so both sides are strings;
-// keeping the value type concrete avoids interface boxing on the hot path.
+// Map is a sharded concurrent map from string keys to typed entries: a
+// string value plus an optional expiry instant. FlowDNS stores DNS
+// answer→query mappings, so both sides are strings; keeping the value type
+// concrete avoids interface boxing on the hot path. The expiry rides inline
+// in the map bucket — exact-TTL mode stores it with one field write instead
+// of the former "value\x00unixNano" string concatenation, and reads it back
+// with one field load instead of a strconv parse per hit.
 //
 // The zero value is not usable; construct with New or NewWithShards.
 type Map struct {
@@ -39,7 +43,38 @@ type Map struct {
 
 type shard struct {
 	mu sync.RWMutex
-	m  map[string]string
+	m  map[string]entry
+	// mb is the binary key space: 16-byte keys (the correlator's canonical
+	// IP form) live here, keyed by value. An array key is hashed with
+	// memhash and stored inline in the bucket, so both inserting and
+	// overwriting are a single map operation with zero allocations — the
+	// property the allocation-free FillUp path rests on. Binary and string
+	// keys are separate namespaces: a 16-byte key never matches a string
+	// entry (the correlator's IP-NAME store is exclusively binary-keyed,
+	// its NAME-CNAME store exclusively string-keyed).
+	mb map[ipKey]entry
+}
+
+// ipKey is the binary key type: the 16-byte canonical address form.
+type ipKey = [16]byte
+
+// entry is the typed map value: the stored string plus an optional expiry
+// (UnixNano; 0 = never expires). Storing the pair inline avoids the alloc
+// of encoding the expiry into the value string on every put and the parse
+// of decoding it on every hit.
+type entry struct {
+	v   string
+	exp int64
+}
+
+// Item is one record of a batched insert (SetItems): a pre-computed Hash,
+// the key bytes (copied only on insert, never retained), the value, and an
+// optional expiry (UnixNano; 0 = none).
+type Item struct {
+	Hash  uint32
+	Key   []byte
+	Value string
+	Exp   int64
 }
 
 // New returns a Map with DefaultShardCount shards.
@@ -56,7 +91,7 @@ func NewWithShards(n int) *Map {
 		m.mask = uint32(n - 1)
 	}
 	for i := range m.shards {
-		m.shards[i] = &shard{m: make(map[string]string)}
+		m.shards[i] = &shard{m: make(map[string]entry), mb: make(map[ipKey]entry)}
 	}
 	return m
 }
@@ -110,29 +145,86 @@ func (m *Map) Set(key, value string) { m.SetHash(fnv32(key), key, value) }
 
 // SetHash is Set with a caller-supplied Hash(key), sparing the recompute
 // when the caller already hashed the key for split or lane selection.
-func (m *Map) SetHash(h uint32, key, value string) {
+func (m *Map) SetHash(h uint32, key, value string) { m.SetHashExpire(h, key, value, 0) }
+
+// SetHashExpire is SetHash with an expiry instant (UnixNano; 0 = never).
+// The expiry is stored typed alongside the value — no encoding allocation.
+func (m *Map) SetHashExpire(h uint32, key, value string, exp int64) {
 	s := m.shardForHash(h)
 	s.mu.Lock()
 	before := len(s.m)
-	s.m[key] = value
+	s.m[key] = entry{v: value, exp: exp}
 	if len(s.m) != before {
 		m.count.Add(1)
 	}
 	s.mu.Unlock()
 }
 
-// SetBytesHash stores value under the string form of key. The key bytes are
-// copied into a fresh string only when the entry is inserted or replaced —
-// the unavoidable allocation of storing a new key — never borrowed.
+// SetBytesHash stores value under key in the binary key space (16-byte
+// keys) or, for other lengths, under the string form of key. Binary keys
+// are stored inline — no allocation on insert or overwrite; string-space
+// inserts copy the bytes into a fresh key string.
 func (m *Map) SetBytesHash(h uint32, key []byte, value string) {
+	m.SetBytesHashExpire(h, key, value, 0)
+}
+
+// SetBytesHashExpire is SetBytesHash with an expiry instant (UnixNano;
+// 0 = never).
+func (m *Map) SetBytesHashExpire(h uint32, key []byte, value string, exp int64) {
 	s := m.shardForHash(h)
 	s.mu.Lock()
-	before := len(s.m)
-	s.m[string(key)] = value
-	if len(s.m) != before {
-		m.count.Add(1)
-	}
+	setBytesLocked(s, key, value, exp, &m.count)
 	s.mu.Unlock()
+}
+
+// setBytesLocked stores (value, exp) under key with the owning shard's
+// lock held: 16-byte keys go to the binary key space as one inline map
+// assignment (zero allocations, whether inserting or overwriting — the
+// property the allocation-free FillUp path rests on), anything else to the
+// string space.
+func setBytesLocked(s *shard, key []byte, value string, exp int64, count *atomic.Int64) {
+	if len(key) == 16 {
+		before := len(s.mb)
+		s.mb[ipKey(key)] = entry{v: value, exp: exp}
+		if len(s.mb) != before {
+			count.Add(1)
+		}
+		return
+	}
+	before := len(s.m)
+	s.m[string(key)] = entry{v: value, exp: exp}
+	if len(s.m) != before {
+		count.Add(1)
+	}
+}
+
+// ShardIndex returns the shard a hash maps to. Batch callers (SetItems)
+// pre-group their items by this index so that every group is inserted under
+// one lock acquisition.
+func (m *Map) ShardIndex(h uint32) int {
+	h ^= h >> 16
+	if m.mask != 0 || len(m.shards) == 1 {
+		return int(h & m.mask)
+	}
+	return int(h % uint32(len(m.shards)))
+}
+
+// SetItems performs a batched insert: consecutive items that map to the
+// same shard are stored under a single lock acquisition. Callers that
+// pre-sort items by ShardIndex(Hash) get one acquisition per touched shard
+// per batch — the FillUp lane workers' amortized put path. Key bytes are
+// copied only on first insert (see setBytesLocked), never retained.
+func (m *Map) SetItems(items []Item) {
+	for i := 0; i < len(items); {
+		s := m.shardForHash(items[i].Hash)
+		s.mu.Lock()
+		j := i
+		for ; j < len(items) && m.shardForHash(items[j].Hash) == s; j++ {
+			setBytesLocked(s, items[j].Key, items[j].Value, items[j].Exp, &m.count)
+		}
+		s.mu.Unlock()
+		i = j
+	}
 }
 
 // SetIfAbsent stores value under key only if the key is not already present.
@@ -142,7 +234,7 @@ func (m *Map) SetIfAbsent(key, value string) bool {
 	s.mu.Lock()
 	_, ok := s.m[key]
 	if !ok {
-		s.m[key] = value
+		s.m[key] = entry{v: value}
 		m.count.Add(1)
 	}
 	s.mu.Unlock()
@@ -158,15 +250,27 @@ func (m *Map) Get(key string) (string, bool) {
 func (m *Map) GetHash(h uint32, key string) (string, bool) {
 	s := m.shardForHash(h)
 	s.mu.RLock()
-	v, ok := s.m[key]
+	e, ok := s.m[key]
 	s.mu.RUnlock()
-	return v, ok
+	return e.v, ok
 }
 
-// GetBytes looks key up without converting it to a string: the compiler's
-// map-index-by-converted-byte-slice optimization makes the probe
-// allocation-free, which is what keeps the correlator's LookUp hit path at
-// zero allocations per flow.
+// GetHashExpire is GetHash returning the stored expiry as well (UnixNano;
+// 0 = never expires). The expiry arrives as one typed field load — no
+// per-hit string split or strconv parse.
+func (m *Map) GetHashExpire(h uint32, key string) (string, int64, bool) {
+	s := m.shardForHash(h)
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
+	return e.v, e.exp, ok
+}
+
+// GetBytes looks key up without any allocation: 16-byte keys probe the
+// binary key space (an inline array probe — what keeps the correlator's
+// LookUp hit path at zero allocations per flow), other lengths probe the
+// string space through the compiler's map-index-by-converted-byte-slice
+// optimization.
 func (m *Map) GetBytes(key []byte) (string, bool) {
 	return m.GetBytesHash(HashBytes(key), key)
 }
@@ -174,10 +278,32 @@ func (m *Map) GetBytes(key []byte) (string, bool) {
 // GetBytesHash is GetBytes with a caller-supplied HashBytes(key).
 func (m *Map) GetBytesHash(h uint32, key []byte) (string, bool) {
 	s := m.shardForHash(h)
+	if len(key) == 16 {
+		s.mu.RLock()
+		e, ok := s.mb[ipKey(key)]
+		s.mu.RUnlock()
+		return e.v, ok
+	}
 	s.mu.RLock()
-	v, ok := s.m[string(key)]
+	e, ok := s.m[string(key)]
 	s.mu.RUnlock()
-	return v, ok
+	return e.v, ok
+}
+
+// GetBytesHashExpire is GetBytesHash returning the stored expiry as well
+// (UnixNano; 0 = never expires) — the exact-TTL Active-generation probe.
+func (m *Map) GetBytesHashExpire(h uint32, key []byte) (string, int64, bool) {
+	s := m.shardForHash(h)
+	if len(key) == 16 {
+		s.mu.RLock()
+		e, ok := s.mb[ipKey(key)]
+		s.mu.RUnlock()
+		return e.v, e.exp, ok
+	}
+	s.mu.RLock()
+	e, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	return e.v, e.exp, ok
 }
 
 // Empty reports whether the map holds no entries, without taking any lock.
@@ -211,7 +337,7 @@ func (m *Map) Len() int {
 	n := 0
 	for _, s := range m.shards {
 		s.mu.RLock()
-		n += len(s.m)
+		n += len(s.m) + len(s.mb)
 		s.mu.RUnlock()
 	}
 	return n
@@ -223,20 +349,25 @@ func (m *Map) Len() int {
 func (m *Map) Clear() {
 	for _, s := range m.shards {
 		s.mu.Lock()
-		m.count.Add(-int64(len(s.m)))
-		s.m = make(map[string]string)
+		m.count.Add(-int64(len(s.m) + len(s.mb)))
+		s.m = make(map[string]entry)
+		s.mb = make(map[ipKey]entry)
 		s.mu.Unlock()
 	}
 }
 
-// Items returns a copy of the full contents. Used by tests and by buffer
-// rotation fallbacks; O(n) and allocates.
+// Items returns a copy of the full contents. Binary keys appear as the raw
+// 16-byte string form of their key. Used by tests and by buffer rotation
+// fallbacks; O(n) and allocates.
 func (m *Map) Items() map[string]string {
 	out := make(map[string]string, m.Len())
 	for _, s := range m.shards {
 		s.mu.RLock()
-		for k, v := range s.m {
-			out[k] = v
+		for k, e := range s.m {
+			out[k] = e.v
+		}
+		for k, e := range s.mb {
+			out[string(k[:])] = e.v
 		}
 		s.mu.RUnlock()
 	}
@@ -246,11 +377,19 @@ func (m *Map) Items() map[string]string {
 // Range calls fn for every key/value pair until fn returns false. Each shard
 // is read-locked while it is being iterated; fn must not call back into the
 // same Map's mutating methods for keys in the shard being iterated.
+// Binary-space entries are visited too, their keys rendered as the raw
+// 16-byte string form.
 func (m *Map) Range(fn func(key, value string) bool) {
 	for _, s := range m.shards {
 		s.mu.RLock()
-		for k, v := range s.m {
-			if !fn(k, v) {
+		for k, e := range s.m {
+			if !fn(k, e.v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		for k, e := range s.mb {
+			if !fn(string(k[:]), e.v) {
 				s.mu.RUnlock()
 				return
 			}
@@ -260,18 +399,60 @@ func (m *Map) Range(fn func(key, value string) bool) {
 }
 
 // RemoveIf deletes every entry for which pred returns true and returns the
-// number of removed entries. This is the scan-based expiry primitive the
+// number of removed entries. pred receives the stored expiry (UnixNano;
+// 0 = none) so the exact-TTL sweep compares two integers per entry instead
+// of decoding a string. This is the scan-based expiry primitive the
 // exact-TTL anti-benchmark (paper Appendix A.8) relies on; it write-locks
 // each shard for the duration of that shard's scan, which is precisely the
 // contention the paper observed degrading the system.
-func (m *Map) RemoveIf(pred func(key, value string) bool) int {
+func (m *Map) RemoveIf(pred func(key, value string, exp int64) bool) int {
+	removed := 0
+	var kbuf [16]byte
+	for _, s := range m.shards {
+		s.mu.Lock()
+		shardRemoved := 0
+		for k, e := range s.m {
+			if pred(k, e.v, e.exp) {
+				delete(s.m, k)
+				shardRemoved++
+			}
+		}
+		for k, e := range s.mb {
+			kbuf = k
+			if pred(string(kbuf[:]), e.v, e.exp) {
+				delete(s.mb, k)
+				shardRemoved++
+			}
+		}
+		m.count.Add(-int64(shardRemoved))
+		removed += shardRemoved
+		s.mu.Unlock()
+	}
+	return removed
+}
+
+// RemoveIfExpired deletes every entry whose stored expiry is non-zero-or-
+// otherwise set and strictly before now (exp < now is expressed as
+// now > exp, matching the lookup path's boundary), returning the number
+// removed. It is the exact-TTL sweep primitive: unlike RemoveIf it never
+// materializes binary keys into strings, so a sweep over a
+// millions-of-entries IP-NAME store allocates nothing. Entries with exp 0
+// ("never expires" — memoized writes) are removed too, mirroring how the
+// lookup path reads them in exact-TTL mode.
+func (m *Map) RemoveIfExpired(now int64) int {
 	removed := 0
 	for _, s := range m.shards {
 		s.mu.Lock()
 		shardRemoved := 0
-		for k, v := range s.m {
-			if pred(k, v) {
+		for k, e := range s.m {
+			if now > e.exp {
 				delete(s.m, k)
+				shardRemoved++
+			}
+		}
+		for k, e := range s.mb {
+			if now > e.exp {
+				delete(s.mb, k)
 				shardRemoved++
 			}
 		}
@@ -290,7 +471,12 @@ func (m *Map) ShardCount() int { return len(m.shards) }
 // active hashmaps into the inactive hashmap and clear up the active
 // hashmap". dst's previous contents are discarded first. When both maps have
 // the same shard count, inner maps are handed over by pointer swap, making
-// rotation O(shards) instead of O(entries).
+// rotation O(shards) instead of O(entries). The differing-shard-count
+// fallback re-shards with this package's own hash (Hash/HashBytes);
+// callers that address entries with a caller-supplied hash (the
+// correlator's ipHash) must keep shard counts equal across generations —
+// as the store does by construction — or post-Snapshot probes would look
+// in the wrong shard.
 func (m *Map) Snapshot(dst *Map) {
 	if dst == nil {
 		return
@@ -300,10 +486,12 @@ func (m *Map) Snapshot(dst *Map) {
 			d := dst.shards[i]
 			s.mu.Lock()
 			d.mu.Lock()
-			dst.count.Add(int64(len(s.m) - len(d.m)))
-			m.count.Add(-int64(len(s.m)))
+			dst.count.Add(int64(len(s.m) + len(s.mb) - len(d.m) - len(d.mb)))
+			m.count.Add(-int64(len(s.m) + len(s.mb)))
 			d.m = s.m
-			s.m = make(map[string]string)
+			d.mb = s.mb
+			s.m = make(map[string]entry)
+			s.mb = make(map[ipKey]entry)
 			d.mu.Unlock()
 			s.mu.Unlock()
 		}
@@ -312,11 +500,16 @@ func (m *Map) Snapshot(dst *Map) {
 	dst.Clear()
 	for _, s := range m.shards {
 		s.mu.Lock()
-		for k, v := range s.m {
-			dst.Set(k, v)
+		for k, e := range s.m {
+			dst.SetHashExpire(fnv32(k), k, e.v, e.exp)
 		}
-		m.count.Add(-int64(len(s.m)))
-		s.m = make(map[string]string)
+		for k, e := range s.mb {
+			key := k
+			dst.SetBytesHashExpire(fnv32(key[:]), key[:], e.v, e.exp)
+		}
+		m.count.Add(-int64(len(s.m) + len(s.mb)))
+		s.m = make(map[string]entry)
+		s.mb = make(map[ipKey]entry)
 		s.mu.Unlock()
 	}
 }

@@ -2,6 +2,7 @@ package cmap
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"testing"
@@ -105,7 +106,7 @@ func TestRemoveIf(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		m.Set(strconv.Itoa(i), strconv.Itoa(i%2))
 	}
-	removed := m.RemoveIf(func(k, v string) bool { return v == "0" })
+	removed := m.RemoveIf(func(k, v string, _ int64) bool { return v == "0" })
 	if removed != 25 {
 		t.Fatalf("RemoveIf removed %d, want 25", removed)
 	}
@@ -389,13 +390,13 @@ func TestEmptyTracksEntryCount(t *testing.T) {
 	}
 	m.Set("d", "6")
 	m.Set("e", "7")
-	if n := m.RemoveIf(func(k, _ string) bool { return k == "d" }); n != 1 {
+	if n := m.RemoveIf(func(k, _ string, _ int64) bool { return k == "d" }); n != 1 {
 		t.Fatalf("RemoveIf = %d", n)
 	}
 	if m.Empty() {
 		t.Fatal("RemoveIf over-decremented")
 	}
-	m.RemoveIf(func(string, string) bool { return true })
+	m.RemoveIf(func(string, string, int64) bool { return true })
 	if !m.Empty() {
 		t.Fatal("full RemoveIf left count")
 	}
@@ -423,5 +424,205 @@ func TestEmptyAcrossSnapshot(t *testing.T) {
 	if !src2.Empty() || dst2.Empty() {
 		t.Fatalf("copy-path snapshot counts wrong: src empty=%v dst empty=%v",
 			src2.Empty(), dst2.Empty())
+	}
+}
+
+// --- typed expiry entries and batched inserts (fill-path PR) ---
+
+func TestExpireRoundTrip(t *testing.T) {
+	m := New()
+	h := Hash("k")
+	m.SetHashExpire(h, "k", "v", 12345)
+	v, exp, ok := m.GetHashExpire(h, "k")
+	if !ok || v != "v" || exp != 12345 {
+		t.Fatalf("GetHashExpire = %q, %d, %v", v, exp, ok)
+	}
+	// Plain sets store exp 0 ("never expires").
+	m.SetHash(h, "k", "v2")
+	if _, exp, _ := m.GetHashExpire(h, "k"); exp != 0 {
+		t.Fatalf("plain SetHash left exp %d, want 0", exp)
+	}
+	// Byte keys of lengths other than 16 share the string key space.
+	key := []byte("bk")
+	bh := HashBytes(key)
+	m.SetBytesHashExpire(bh, key, "bv", 77)
+	if v, exp, ok := m.GetBytesHashExpire(bh, key); !ok || v != "bv" || exp != 77 {
+		t.Fatalf("GetBytesHashExpire = %q, %d, %v", v, exp, ok)
+	}
+	if v, exp, ok := m.GetHashExpire(Hash("bk"), "bk"); !ok || v != "bv" || exp != 77 {
+		t.Fatalf("string probe of byte-keyed entry = %q, %d, %v", v, exp, ok)
+	}
+	// The plain getters still see the value regardless of expiry.
+	if v, ok := m.Get("bk"); !ok || v != "bv" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	// 16-byte keys live in the binary key space: visible to the byte-keyed
+	// getters, to Len, and to Range/Items (as the raw 16-byte string), but
+	// not to the string-keyed getters — the two spaces are separate.
+	bin := []byte("0123456789abcdef")
+	m.SetBytesHashExpire(HashBytes(bin), bin, "binv", 5)
+	if v, exp, ok := m.GetBytesHashExpire(HashBytes(bin), bin); !ok || v != "binv" || exp != 5 {
+		t.Fatalf("binary-space get = %q, %d, %v", v, exp, ok)
+	}
+	if _, ok := m.Get("0123456789abcdef"); ok {
+		t.Fatal("string probe crossed into the binary key space")
+	}
+	if got := m.Items()["0123456789abcdef"]; got != "binv" {
+		t.Fatalf("Items missed binary entry: %q", got)
+	}
+}
+
+func TestRemoveIfSeesExpiry(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		m.SetHashExpire(Hash(k), k, "v", int64(i))
+	}
+	removed := m.RemoveIf(func(_, _ string, exp int64) bool { return exp < 50 })
+	if removed != 50 {
+		t.Fatalf("RemoveIf removed %d, want 50", removed)
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", m.Len())
+	}
+}
+
+func TestSetItems(t *testing.T) {
+	for _, shards := range []int{1, 4, 32, 7} {
+		m := NewWithShards(shards)
+		const n = 500
+		items := make([]Item, n)
+		keys := make([][]byte, n)
+		for i := range items {
+			keys[i] = []byte(fmt.Sprintf("key%d", i))
+			items[i] = Item{
+				Hash:  HashBytes(keys[i]),
+				Key:   keys[i],
+				Value: fmt.Sprintf("val%d", i%7),
+				Exp:   int64(i),
+			}
+		}
+		// Pre-group by shard as the fill workers do; correctness must not
+		// depend on it, so also insert an unsorted overlapping batch.
+		sort.Slice(items[:n/2], func(a, b int) bool {
+			return m.ShardIndex(items[a].Hash) < m.ShardIndex(items[b].Hash)
+		})
+		m.SetItems(items[:n/2])
+		m.SetItems(items[n/4:]) // overlap re-inserts: count must not double
+		if m.Len() != n {
+			t.Fatalf("shards=%d: Len = %d, want %d", shards, m.Len(), n)
+		}
+		for i := range items {
+			v, exp, ok := m.GetBytesHashExpire(items[i].Hash, items[i].Key)
+			if !ok || v != items[i].Value || exp != items[i].Exp {
+				t.Fatalf("shards=%d: item %d = %q, %d, %v", shards, i, v, exp, ok)
+			}
+		}
+		// Keys must be copied, never aliased: clobbering the caller's
+		// buffers must not corrupt the map.
+		for i := range keys {
+			for j := range keys[i] {
+				keys[i][j] = 'x'
+			}
+		}
+		if v, ok := m.Get("key42"); !ok || v != "val0" {
+			t.Fatalf("shards=%d: after clobber Get(key42) = %q, %v", shards, v, ok)
+		}
+	}
+}
+
+func TestShardIndexMatchesShardFor(t *testing.T) {
+	for _, shards := range []int{1, 8, 32, 5} {
+		m := NewWithShards(shards)
+		for i := 0; i < 1000; i++ {
+			h := Hash(fmt.Sprintf("k%d", i))
+			if got, want := m.shards[m.ShardIndex(h)], m.shardForHash(h); got != want {
+				t.Fatalf("shards=%d: ShardIndex(%d) disagrees with shardForHash", shards, h)
+			}
+		}
+	}
+}
+
+func TestSnapshotPreservesExpiry(t *testing.T) {
+	// Both the same-shard pointer-swap path and the rehash path must carry
+	// the typed expiry across rotation.
+	for _, dstShards := range []int{DefaultShardCount, 8} {
+		src := New()
+		dst := NewWithShards(dstShards)
+		src.SetHashExpire(Hash("k"), "k", "v", 999)
+		src.Snapshot(dst)
+		if v, exp, ok := dst.GetHashExpire(Hash("k"), "k"); !ok || v != "v" || exp != 999 {
+			t.Fatalf("dstShards=%d: after Snapshot = %q, %d, %v", dstShards, v, exp, ok)
+		}
+		if src.Len() != 0 {
+			t.Fatalf("dstShards=%d: src not drained", dstShards)
+		}
+	}
+}
+
+func TestSetBytesOverwriteDoesNotAliasKey(t *testing.T) {
+	// Overwriting through a reused key buffer must reuse the stored key
+	// string, never retain the caller's bytes: clobbering the buffer after
+	// each put must leave the map intact. (Regression: a plain map
+	// assignment through a no-copy string view replaces the stored key's
+	// pointer, silently aliasing the buffer.)
+	m := New()
+	buf := []byte("key-one")
+	h := HashBytes(buf)
+	m.SetBytesHashExpire(h, buf, "v1", 1)
+	m.SetBytesHashExpire(h, buf, "v2", 2) // overwrite via the same buffer
+	for i := range buf {
+		buf[i] = 'z'
+	}
+	if v, exp, ok := m.GetHashExpire(Hash("key-one"), "key-one"); !ok || v != "v2" || exp != 2 {
+		t.Fatalf("after clobber: %q, %d, %v", v, exp, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestSetBytesOverwriteAllocFree(t *testing.T) {
+	m := New()
+	key := []byte("16-byte-bin-key!") // binary key space: inline, alloc-free
+	h := HashBytes(key)
+	m.SetBytesHashExpire(h, key, "v", 7)
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.SetBytesHashExpire(h, key, "v", 7)
+	}); allocs != 0 {
+		t.Fatalf("overwrite allocates %v per run, want 0", allocs)
+	}
+	items := []Item{{Hash: h, Key: key, Value: "v", Exp: 9}}
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.SetItems(items)
+	}); allocs != 0 {
+		t.Fatalf("SetItems overwrite allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestRemoveIfExpired(t *testing.T) {
+	m := New()
+	// String space and binary space both participate in the sweep.
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("s%d", i)
+		m.SetHashExpire(Hash(k), k, "v", int64(i))
+		bk := []byte(fmt.Sprintf("bin-key-16bytes%d", i))
+		m.SetBytesHashExpire(HashBytes(bk), bk, "v", int64(i))
+	}
+	// now > exp removes; the boundary entry (exp == now) survives, matching
+	// the lookup path.
+	removed := m.RemoveIfExpired(5)
+	if removed != 10 {
+		t.Fatalf("removed = %d, want 10 (5 per key space)", removed)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", m.Len())
+	}
+	if _, exp, ok := m.GetHashExpire(Hash("s5"), "s5"); !ok || exp != 5 {
+		t.Fatalf("boundary entry s5 = exp %d, ok %v", exp, ok)
+	}
+	// The sweep itself must not allocate (the exact-TTL hot path).
+	if allocs := testing.AllocsPerRun(20, func() { m.RemoveIfExpired(0) }); allocs != 0 {
+		t.Fatalf("RemoveIfExpired allocates %v per run, want 0", allocs)
 	}
 }

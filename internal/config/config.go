@@ -110,6 +110,7 @@ type CorrelatorConfig struct {
 	LookupKey       string `json:"lookup_key"`         // source (default), destination, both
 	NumSplit        int    `json:"num_split"`          // 0 = paper default (10)
 	Lanes           int    `json:"lanes"`              // correlation lanes; 0 = one per split (paper default)
+	FillLanes       int    `json:"fill_lanes"`         // fill lanes; 0 = mirror correlation lanes
 	FillUpWorkers   int    `json:"fillup_workers"`     // 0 = default
 	LookUpWorkers   int    `json:"lookup_workers"`     // 0 = default
 	WriteWorkers    int    `json:"write_workers"`      // 0 = default
@@ -232,6 +233,9 @@ func (f *File) CoreConfig() (core.Config, error) {
 	}
 	if cc.Lanes > 0 {
 		cfg.Lanes = cc.Lanes
+	}
+	if cc.FillLanes > 0 {
+		cfg.FillLanes = cc.FillLanes
 	}
 	if cc.FillUpWorkers > 0 {
 		cfg.FillUpWorkers = cc.FillUpWorkers

@@ -34,6 +34,7 @@ func TestParseFull(t *testing.T) {
 		"output":{"path":"out.tsv","skip_misses":true},
 		"correlator":{
 			"variant":"NoRotation","lookup_key":"both","num_split":4,
+			"lanes":2,"fill_lanes":2,
 			"fillup_workers":2,"lookup_workers":3,"write_workers":1,
 			"a_clear_up_seconds":1800,"c_clear_up_seconds":3600,
 			"cname_chain_limit":4,"queue_capacity":1024
@@ -55,6 +56,9 @@ func TestParseFull(t *testing.T) {
 	}
 	if cfg.CNAMEChainLimit != 4 || cfg.FillQueueCap != 1024 {
 		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Lanes != 2 || cfg.FillLanes != 2 {
+		t.Fatalf("lanes = %d, fill lanes = %d, want 2/2", cfg.Lanes, cfg.FillLanes)
 	}
 	if !f.Output.SkipMisses || f.Output.Path != "out.tsv" {
 		t.Fatalf("output = %+v", f.Output)

@@ -88,6 +88,16 @@ type Config struct {
 	// collapses to a single lane.
 	Lanes int
 
+	// FillLanes is the number of independent fill lanes the FillUp stage is
+	// sharded into. DNS records are partitioned onto fill lanes by a hash
+	// of the A/AAAA answer address at offer time — the same hash that
+	// labels the record's store split — so with FillLanes == Lanes (the
+	// default when 0) each fill lane writes only its own lane's slice of
+	// the IP-NAME splits and FillUp workers never contend on the same
+	// generation shards. The NoSplit ablation collapses to a single fill
+	// lane.
+	FillLanes int
+
 	// Key selects which flow address is resolved (default: source, as in
 	// the paper's deployment).
 	Key LookupKey
@@ -246,6 +256,14 @@ func (c Config) normalized() Config {
 	// reports the split count actually allocated.
 	if rem := c.NumSplit % c.Lanes; rem != 0 {
 		c.NumSplit += c.Lanes - rem
+	}
+	if c.FillLanes <= 0 {
+		// Default: mirror the correlation lanes, aligning the fill
+		// partition with the lane-major split layout.
+		c.FillLanes = c.Lanes
+	}
+	if c.DisableSplit {
+		c.FillLanes = 1
 	}
 	return c
 }

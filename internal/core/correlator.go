@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cmap"
 	"repro/internal/dnsname"
 	"repro/internal/dnswire"
 	"repro/internal/netflow"
@@ -112,7 +113,15 @@ type Correlator struct {
 	ipName    *store // A/AAAA answer(IP) -> query name
 	nameCname *store // CNAME answer(canonical) -> query (alias)
 
-	fillQ *queue.Queue[stream.DNSRecord]
+	// fillLanes are the sharded FillUp stage, mirroring the correlation
+	// lanes: each fill lane owns its own queue, its own workers, and its
+	// own name interner, and DNS records are partitioned onto fill lanes by
+	// the same ipHash of the A/AAAA answer address that places the entry in
+	// the store. With FillLanes == Lanes every fill lane therefore writes
+	// only its lane's slice of the store splits, so concurrent FillUp
+	// workers never contend on the same generation shards — the put-side
+	// twin of the lane-major lookup layout.
+	fillLanes []*fillLane
 	// lanes are the sharded LookUp stage: each lane owns its own lookup
 	// queue and its own workers, and flows are partitioned onto lanes by a
 	// hash of the destination IP (same dst IP → same lane). The store's
@@ -125,6 +134,11 @@ type Correlator struct {
 	// stagePool recycles the per-lane staging buffers OfferFlowBatch uses
 	// to partition a batch in one pass.
 	stagePool sync.Pool
+	// dnsStagePool does the same for OfferDNSBatch's fill-lane partition.
+	dnsStagePool sync.Pool
+	// fillBufPool recycles the item-assembly scratch the public
+	// IngestDNSBatch uses; lane workers hold a private buffer instead.
+	fillBufPool sync.Pool
 
 	started atomic.Bool
 
@@ -165,10 +179,22 @@ func New(cfg Config, opts ...Option) *Correlator {
 			exactTTL:      cfg.ExactTTL,
 			sweepInterval: cfg.ExactTTLSweepInterval,
 		}),
-		fillQ:      queue.New[stream.DNSRecord](cfg.FillQueueCap),
+		fillLanes:  make([]*fillLane, cfg.FillLanes),
 		lanes:      make([]*corrLane, cfg.Lanes),
 		writeQ:     queue.New[CorrelatedFlow](cfg.WriteQueueCap),
 		sinkFailed: make(chan struct{}),
+	}
+	// FillQueueCap is the total fill buffer, divided evenly across fill
+	// lanes (same contract as LookQueueCap below).
+	perFillCap := cfg.FillQueueCap / cfg.FillLanes
+	if perFillCap < 1 {
+		perFillCap = 1
+	}
+	for i := range c.fillLanes {
+		c.fillLanes[i] = &fillLane{
+			q:  queue.New[stream.DNSRecord](perFillCap),
+			in: newInterner(defaultInternCap),
+		}
 	}
 	// LookQueueCap is the total lookup buffer, divided evenly across
 	// lanes, so the stage's memory footprint and the configured loss
@@ -186,6 +212,11 @@ func New(cfg Config, opts ...Option) *Correlator {
 	c.stagePool.New = func() any {
 		return &laneStage{perLane: make([][]flowEntry, laneCount)}
 	}
+	fillLaneCount := len(c.fillLanes)
+	c.dnsStagePool.New = func() any {
+		return &dnsStage{perLane: make([][]stream.DNSRecord, fillLaneCount)}
+	}
+	c.fillBufPool.New = func() any { return new(fillBuf) }
 	for _, opt := range opts {
 		if opt != nil {
 			opt(c)
@@ -198,6 +229,29 @@ func New(cfg Config, opts ...Option) *Correlator {
 // stage with its own queue; its workers are launched by Run.
 type corrLane struct {
 	q *queue.Queue[flowEntry]
+}
+
+// fillLane is one fill lane: an independent slice of the FillUp stage with
+// its own queue and name interner; its workers are launched by Run.
+type fillLane struct {
+	q  *queue.Queue[stream.DNSRecord]
+	in *interner
+}
+
+// dnsStage is the reusable per-lane staging buffer OfferDNSBatch partitions
+// a DNS batch into.
+type dnsStage struct {
+	perLane [][]stream.DNSRecord
+}
+
+// fillBuf is the reusable scratch one IngestDNSBatch call assembles its
+// store items in: the 16-byte binary keys (backing storage the items alias)
+// and the Active/Long item groups handed to store.putItems.
+type fillBuf struct {
+	keys   [][16]byte
+	active []cmap.Item
+	long   []cmap.Item
+	sc     dispatchScratch
 }
 
 // laneStage is the reusable per-lane staging buffer OfferFlowBatch
@@ -234,22 +288,94 @@ func (c *Correlator) laneFor(addr netip.Addr) int {
 	return int(ipHash(&a16) % uint32(len(c.lanes)))
 }
 
+// fillLaneFor returns the fill lane owning rec. A/AAAA records route by the
+// same ipHash of the answer address that labels their store split, so with
+// FillLanes == Lanes each fill lane writes only its own split slice; the
+// offer path materializes the typed address first (typeAnswerAddr), so a
+// string-only producer's records route identically to a wire source's for
+// the same IP. Records without a parsable address (CNAMEs, garbage
+// answers) route by the answer-string hash — any lane ingests them
+// correctly; only the contention alignment is lost.
+func (c *Correlator) fillLaneFor(rec *stream.DNSRecord) int {
+	if len(c.fillLanes) == 1 {
+		return 0
+	}
+	if rec.Addr.IsValid() {
+		a16 := rec.Addr.As16()
+		return c.fillLaneForHash(ipHash(&a16))
+	}
+	return c.fillLaneForHash(cmap.Hash(rec.Answer))
+}
+
+// fillLaneForHash is fillLaneFor when the caller already has the key hash.
+func (c *Correlator) fillLaneForHash(h uint32) int {
+	return int(h % uint32(len(c.fillLanes)))
+}
+
+// typeAnswerAddr materializes the typed address of a string-only A/AAAA
+// record in place: one parse at offer time instead of one per ingest, and
+// — because the fill-lane partition keys on the typed address — records
+// for the same IP land on the same lane no matter which producer built
+// them. Unparsable answers are left as-is (the §3.2 filter rejects them at
+// ingest).
+func typeAnswerAddr(rec *stream.DNSRecord) {
+	if rec.Addr.IsValid() || rec.Answer == "" {
+		return
+	}
+	if rec.RType == dnswire.TypeA || rec.RType == dnswire.TypeAAAA {
+		if addr, err := netip.ParseAddr(rec.Answer); err == nil {
+			rec.Addr = addr
+		}
+	}
+}
+
 // Lanes returns the number of correlation lanes in effect.
 func (c *Correlator) Lanes() int { return len(c.lanes) }
+
+// FillLanes returns the number of fill lanes in effect.
+func (c *Correlator) FillLanes() int { return len(c.fillLanes) }
 
 // Config returns the normalized configuration in effect.
 func (c *Correlator) Config() Config { return c.cfg }
 
 // --- stream.Ingest façade (live pipeline) ---
 
-// OfferDNS places a DNS record on the FillUp queue; a false return is a
-// dropped record (stream loss).
-func (c *Correlator) OfferDNS(rec stream.DNSRecord) bool { return c.fillQ.Offer(rec) }
+// OfferDNS places a DNS record on its fill lane's FillUp queue; a false
+// return is a dropped record (stream loss). The lane is chosen by the
+// answer-address hash, so records for the same address always land on the
+// same lane.
+func (c *Correlator) OfferDNS(rec stream.DNSRecord) bool {
+	typeAnswerAddr(&rec)
+	return c.fillLanes[c.fillLaneFor(&rec)].q.Offer(rec)
+}
 
-// OfferDNSBatch places a batch of DNS records on the FillUp queue and
-// returns how many were accepted.
+// OfferDNSBatch partitions a batch of DNS records onto their fill lanes —
+// one pass through reusable staging buffers, as OfferFlowBatch does for
+// flows — and returns how many were accepted.
 func (c *Correlator) OfferDNSBatch(recs []stream.DNSRecord) int {
-	return c.fillQ.OfferBatch(recs)
+	if len(recs) == 0 {
+		return 0
+	}
+	if len(c.fillLanes) == 1 {
+		return c.fillLanes[0].q.OfferBatch(recs)
+	}
+	st := c.dnsStagePool.Get().(*dnsStage)
+	for i := range recs {
+		r := recs[i]
+		typeAnswerAddr(&r)
+		l := c.fillLaneFor(&r)
+		st.perLane[l] = append(st.perLane[l], r)
+	}
+	accepted := 0
+	for l := range st.perLane {
+		if len(st.perLane[l]) == 0 {
+			continue
+		}
+		accepted += c.fillLanes[l].q.OfferBatch(st.perLane[l])
+		st.perLane[l] = st.perLane[l][:0]
+	}
+	c.dnsStagePool.Put(st)
+	return accepted
 }
 
 // OfferFlow places a flow on its correlation lane's LookUp queue, stamping
@@ -293,10 +419,13 @@ var _ stream.Ingest = (*Correlator)(nil)
 // look depth aggregates every correlation lane; LaneDepths has the
 // per-lane breakdown.
 func (c *Correlator) QueueDepths() (fill, look, write int) {
+	for _, l := range c.fillLanes {
+		fill += l.q.Len()
+	}
 	for _, l := range c.lanes {
 		look += l.q.Len()
 	}
-	return c.fillQ.Len(), look, c.writeQ.Len()
+	return fill, look, c.writeQ.Len()
 }
 
 // LaneDepths reports each correlation lane's lookup-queue occupancy — the
@@ -305,6 +434,21 @@ func (c *Correlator) QueueDepths() (fill, look, write int) {
 func (c *Correlator) LaneDepths() []int {
 	out := make([]int, len(c.lanes))
 	for i, l := range c.lanes {
+		out[i] = l.q.Len()
+	}
+	return out
+}
+
+// FillLaneFor reports which fill lane rec routes to — the partition
+// inspector behind FillLaneDepths skew debugging (and the repo benchmarks'
+// lane-local batch construction).
+func (c *Correlator) FillLaneFor(rec *stream.DNSRecord) int { return c.fillLaneFor(rec) }
+
+// FillLaneDepths reports each fill lane's queue occupancy — the skew
+// monitor for the answer-address partition.
+func (c *Correlator) FillLaneDepths() []int {
+	out := make([]int, len(c.fillLanes))
+	for i, l := range c.fillLanes {
 		out[i] = l.q.Len()
 	}
 	return out
@@ -330,22 +474,37 @@ func (c *Correlator) Run(ctx context.Context) error {
 	}
 
 	var wgFill, wgLook, wgWrite sync.WaitGroup
-	for i := 0; i < c.cfg.FillUpWorkers; i++ {
-		wgFill.Add(1)
-		go func() {
-			defer wgFill.Done()
-			batch := make([]stream.DNSRecord, 0, ingestBatchSize)
-			for {
-				var ok bool
-				batch, ok = c.fillQ.TakeBatch(batch[:0], ingestBatchSize, 0)
-				if !ok {
-					return
+	// FillUp workers are divided evenly across fill lanes (at least one per
+	// lane), exactly as LookUp workers are across correlation lanes: a
+	// worker drains only its own lane's queue and ingests whole batches, so
+	// the clear-up check, the stats updates, and the shard-lock traffic all
+	// amortize per batch instead of per record.
+	baseFill := c.cfg.FillUpWorkers / len(c.fillLanes)
+	extraFill := c.cfg.FillUpWorkers % len(c.fillLanes)
+	if baseFill < 1 {
+		baseFill, extraFill = 1, 0
+	}
+	for li, lane := range c.fillLanes {
+		workersPerLane := baseFill
+		if li < extraFill {
+			workersPerLane++
+		}
+		for i := 0; i < workersPerLane; i++ {
+			wgFill.Add(1)
+			go func(lane *fillLane) {
+				defer wgFill.Done()
+				batch := make([]stream.DNSRecord, 0, ingestBatchSize)
+				var buf fillBuf // worker-private assembly scratch
+				for {
+					var ok bool
+					batch, ok = lane.q.TakeBatch(batch[:0], ingestBatchSize, 0)
+					if !ok {
+						return
+					}
+					c.ingestBatch(batch, lane.in, &buf)
 				}
-				for i := range batch {
-					c.IngestDNS(batch[i])
-				}
-			}
-		}()
+			}(lane)
+		}
 	}
 	// LookUp workers are divided evenly across lanes (at least one per
 	// lane): a worker drains only its own lane's queue, so two workers
@@ -501,7 +660,9 @@ func (c *Correlator) Run(ctx context.Context) error {
 	// accepted into any lane reaches the sink exactly once.
 	stopSources()
 	wgSrc.Wait()
-	c.fillQ.Close()
+	for _, lane := range c.fillLanes {
+		lane.q.Close()
+	}
 	for _, lane := range c.lanes {
 		lane.q.Close()
 	}
@@ -535,30 +696,126 @@ func (c *Correlator) failSink(err error) {
 // --- synchronous API (deterministic replays, tests, examples) ---
 
 // IngestDNS validates one DNS record and fills it into the hashmaps
-// (Algorithm 1). It is the FillUp worker body and may be called directly
-// for deterministic offline replays. A/AAAA answers are keyed by the
-// 16-byte binary address form — the same key LookUp builds from a flow's
-// address without formatting a string — so an answer that fails to parse
-// as an address is rejected by the §3.2 filter.
+// (Algorithm 1). It may be called directly for deterministic offline
+// replays; the async pipeline's fill-lane workers use IngestDNSBatch,
+// which amortizes the clear-up check and the stats updates. A/AAAA answers
+// are keyed by the 16-byte binary address form — the same key LookUp
+// builds from a flow's address — taken straight from the typed Addr field
+// when the producer supplied it (wire decoder, capture reader, workload
+// generator); only string-only records pay a parse here, and one that
+// fails to parse is rejected by the §3.2 filter.
 func (c *Correlator) IngestDNS(rec stream.DNSRecord) {
 	if !rec.IsValid() {
 		c.stats.dnsInvalid.Add(1)
 		return
 	}
-	value := dnsname.Normalize(rec.Query)
 	switch rec.RType {
 	case dnswire.TypeA, dnswire.TypeAAAA:
-		addr, err := netip.ParseAddr(rec.Answer)
-		if err != nil {
-			c.stats.dnsInvalid.Add(1)
-			return
+		addr := rec.Addr
+		if !addr.IsValid() {
+			var err error
+			addr, err = netip.ParseAddr(rec.Answer)
+			if err != nil {
+				c.stats.dnsInvalid.Add(1)
+				return
+			}
 		}
 		key := addr.As16()
-		c.ipName.putBytesHash(rec.Timestamp, rec.TTL, ipHash(&key), key[:], value)
+		h := ipHash(&key)
+		// One hash serves lane/interner selection, split labeling, and
+		// shard selection.
+		in := c.fillLanes[c.fillLaneForHash(h)].in
+		value := in.intern(dnsname.Normalize(rec.Query))
+		c.ipName.putBytesHash(rec.Timestamp, rec.TTL, h, key[:], value)
 	case dnswire.TypeCNAME:
-		c.nameCname.put(rec.Timestamp, rec.TTL, dnsname.Normalize(rec.Answer), value)
+		in := c.fillLanes[c.fillLaneForHash(cmap.Hash(rec.Answer))].in
+		value := in.intern(dnsname.Normalize(rec.Query))
+		c.nameCname.put(rec.Timestamp, rec.TTL, in.intern(dnsname.Normalize(rec.Answer)), value)
 	}
 	c.stats.dnsRecords.Add(1)
+}
+
+// IngestDNSBatch fills a batch of DNS records (Algorithm 1, batched). It
+// is the fill-lane worker body: per-record counter updates accumulate in a
+// batch-local tally, the store's clear-up clock advances once per batch
+// (at the batch's last accepted record timestamp — streams are delivered
+// in near-arrival order, so the last record is the freshest within
+// jitter, and the clear-up intervals are hours; records the filter or the
+// address parse rejects never touch the clock, exactly as in the
+// record-at-a-time path), and the A/AAAA items are
+// grouped by store split and shard so each touched shard lock is taken
+// once per batch. Record order within one batch is not significant — a
+// rotation boundary inside a batch rotates before the whole batch lands in
+// the fresh Active generation.
+func (c *Correlator) IngestDNSBatch(recs []stream.DNSRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	buf := c.fillBufPool.Get().(*fillBuf)
+	c.ingestBatch(recs, c.fillLanes[c.fillLaneFor(&recs[0])].in, buf)
+	c.fillBufPool.Put(buf)
+}
+
+// ingestBatch is the shared IngestDNSBatch body; lane workers pass their
+// lane's interner and a worker-private scratch buffer.
+func (c *Correlator) ingestBatch(recs []stream.DNSRecord, in *interner, buf *fillBuf) {
+	var records, invalid uint64
+	var batchTS time.Time
+	if cap(buf.keys) < len(recs) {
+		buf.keys = make([][16]byte, len(recs))
+	}
+	keys := buf.keys[:len(recs)]
+	active, long := buf.active[:0], buf.long[:0]
+	exact := c.ipName.exactTTL
+	longEnabled := c.ipName.longEnabled
+	for i := range recs {
+		rec := &recs[i]
+		if !rec.IsValid() {
+			invalid++
+			continue
+		}
+		value := in.intern(dnsname.Normalize(rec.Query))
+		switch rec.RType {
+		case dnswire.TypeA, dnswire.TypeAAAA:
+			addr := rec.Addr
+			if !addr.IsValid() {
+				var err error
+				addr, err = netip.ParseAddr(rec.Answer)
+				if err != nil {
+					invalid++
+					continue
+				}
+			}
+			keys[i] = addr.As16()
+			item := cmap.Item{Hash: ipHash(&keys[i]), Key: keys[i][:], Value: value}
+			switch {
+			case exact:
+				item.Exp = expiryOf(rec.Timestamp, rec.TTL)
+				active = append(active, item)
+			case longEnabled && time.Duration(rec.TTL)*time.Second >= c.ipName.ttlThreshold:
+				long = append(long, item)
+			default:
+				active = append(active, item)
+			}
+			batchTS = rec.Timestamp
+		case dnswire.TypeCNAME:
+			// CNAME volume is a fraction of A/AAAA volume and the NAME-CNAME
+			// store is single-split; record-at-a-time puts are fine here.
+			c.nameCname.put(rec.Timestamp, rec.TTL, in.intern(dnsname.Normalize(rec.Answer)), value)
+			batchTS = rec.Timestamp
+		}
+		records++
+	}
+	if len(active)+len(long) > 0 {
+		c.ipName.putItems(batchTS, active, long, &buf.sc)
+	}
+	buf.active, buf.long = active[:0], long[:0]
+	if records != 0 {
+		c.stats.dnsRecords.Add(records)
+	}
+	if invalid != 0 {
+		c.stats.dnsInvalid.Add(invalid)
+	}
 }
 
 // lookupIP resolves one address against the IP-NAME store with a stack

@@ -134,12 +134,14 @@ type Stats struct {
 	Sweeps             uint64 // exact-TTL mode only
 	SweptEntries       uint64
 
-	// LookQueue aggregates every correlation lane's queue; Lanes is the
-	// lane count behind it.
+	// FillQueue aggregates every fill lane's queue and LookQueue every
+	// correlation lane's; FillLanes and Lanes are the lane counts behind
+	// them.
 	FillQueue  queue.Stats
 	LookQueue  queue.Stats
 	WriteQueue queue.Stats
 	Lanes      int
+	FillLanes  int
 }
 
 // CorrelationRate returns correlated bytes over total bytes — the paper's
@@ -191,9 +193,15 @@ func (c *Correlator) Stats() Stats {
 		NameCnameRotations: c.nameCname.rotations.Load(),
 		Sweeps:             c.ipName.sweeps.Load() + c.nameCname.sweeps.Load(),
 		SweptEntries:       c.ipName.swept.Load() + c.nameCname.swept.Load(),
-		FillQueue:          c.fillQ.Stats(),
 		WriteQueue:         c.writeQ.Stats(),
 		Lanes:              len(c.lanes),
+		FillLanes:          len(c.fillLanes),
+	}
+	for _, l := range c.fillLanes {
+		fs := l.q.Stats()
+		st.FillQueue.Enqueued += fs.Enqueued
+		st.FillQueue.Dropped += fs.Dropped
+		st.FillQueue.Dequeued += fs.Dequeued
 	}
 	for _, l := range c.lanes {
 		ls := l.q.Stats()

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,10 +148,11 @@ func (s *store) put(ts time.Time, ttl uint32, key, value string) {
 func (s *store) putHash(ts time.Time, ttl uint32, h uint32, key, value string) {
 	s.maybeClearUp(ts)
 	if s.exactTTL {
-		// Appendix A.8: every record carries its exact expiry; the sweep in
+		// Appendix A.8: every record carries its exact expiry, stored as a
+		// typed field (no string encoding, no allocation); the sweep in
 		// maybeSweep scans it back out. Everything lands in Active.
 		s.maybeSweep(ts)
-		s.active[s.splitFor(h)].SetHash(h, key, encodeExpiry(value, ts.Add(time.Duration(ttl)*time.Second)))
+		s.active[s.splitFor(h)].SetHashExpire(h, key, value, expiryOf(ts, ttl))
 		return
 	}
 	n := s.splitFor(h)
@@ -173,7 +172,7 @@ func (s *store) putBytesHash(ts time.Time, ttl uint32, h uint32, key []byte, val
 	s.maybeClearUp(ts)
 	if s.exactTTL {
 		s.maybeSweep(ts)
-		s.active[s.splitFor(h)].SetBytesHash(h, key, encodeExpiry(value, ts.Add(time.Duration(ttl)*time.Second)))
+		s.active[s.splitFor(h)].SetBytesHashExpire(h, key, value, expiryOf(ts, ttl))
 		return
 	}
 	n := s.splitFor(h)
@@ -182,6 +181,113 @@ func (s *store) putBytesHash(ts time.Time, ttl uint32, h uint32, key []byte, val
 		return
 	}
 	s.active[n].SetBytesHash(h, key, value)
+}
+
+// putItems is the batched binary-key fill path: the clear-up clock advances
+// once per batch (ts is the batch's latest record timestamp) and the items
+// are grouped by destination split and shard, so each touched shard is
+// locked once per batch instead of once per record. active receives
+// Active-generation items (exact-TTL items carry their expiry in Item.Exp);
+// long receives long-TTL items. sc is caller-owned reusable scratch.
+func (s *store) putItems(ts time.Time, active, long []cmap.Item, sc *dispatchScratch) {
+	s.maybeClearUp(ts)
+	if s.exactTTL {
+		s.maybeSweep(ts)
+	}
+	s.dispatchItems(s.active, active, sc)
+	s.dispatchItems(s.long, long, sc)
+}
+
+// dispatchScratch is the reusable buffer set one dispatchItems call sorts
+// through: per-item bucket keys, bucket counters, and the scattered item
+// order. Owned by the fill worker (via fillBuf), so a steady-state batch
+// allocates nothing.
+type dispatchScratch struct {
+	keys   []int32
+	counts []int32
+	out    []cmap.Item
+}
+
+// dispatchItems groups items by (split, shard) with a counting sort and
+// hands each split's contiguous bucket range to that split's map in one
+// SetItems call, whose shard-ordered runs then take each touched shard
+// lock exactly once per batch. The sort is stable by construction —
+// duplicate keys inside one batch keep their stream order, preserving
+// last-write-wins (§4 accuracy overwrite semantics) — and O(n + buckets)
+// with the bucket key computed once per item, a fraction of a comparison
+// sort's cost on the per-batch path.
+func (s *store) dispatchItems(gen []*cmap.Map, items []cmap.Item, sc *dispatchScratch) {
+	n := len(items)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		gen[s.splitFor(items[0].Hash)].SetItems(items)
+		return
+	}
+	m0 := gen[0] // all generation maps share one shard count
+	shards := m0.ShardCount()
+	buckets := s.splits * shards
+	if cap(sc.counts) < buckets+1 {
+		// counts carries a zeroed-between-calls invariant: it is allocated
+		// zero and every call re-zeroes exactly the window it touched, so
+		// a lane-local batch (which lands in one split's 32-bucket window)
+		// never pays for the full bucket range.
+		sc.counts = make([]int32, buckets+1)
+	}
+	counts := sc.counts[:buckets+1]
+	if cap(sc.keys) < n {
+		sc.keys = make([]int32, n)
+	}
+	keys := sc.keys[:n]
+	if cap(sc.out) < n {
+		sc.out = make([]cmap.Item, n)
+	}
+	out := sc.out[:n]
+	minB, maxB := int32(buckets), int32(0)
+	for i := range items {
+		k := int32(s.splitFor(items[i].Hash)*shards + m0.ShardIndex(items[i].Hash))
+		keys[i] = k
+		counts[k+1]++
+		if k < minB {
+			minB = k
+		}
+		if k > maxB {
+			maxB = k
+		}
+	}
+	for b := minB + 1; b <= maxB; b++ {
+		counts[b+1] += counts[b]
+	}
+	for i := range items {
+		k := keys[i]
+		out[counts[k]] = items[i]
+		counts[k]++
+	}
+	// After the scatter, counts[k] is the end offset of bucket k (offsets
+	// are relative to the window start, which is 0 because counts[minB]
+	// was zero). A split's buckets are contiguous, so its range ends at
+	// its last bucket's end.
+	prevEnd := int32(0)
+	firstSplit, lastSplit := int(minB)/shards, int(maxB)/shards
+	for sp := firstSplit; sp <= lastSplit; sp++ {
+		hi := int32((sp+1)*shards - 1)
+		if hi > maxB {
+			hi = maxB
+		}
+		end := counts[hi]
+		if end > prevEnd {
+			gen[sp].SetItems(out[prevEnd:end])
+		}
+		prevEnd = end
+	}
+	// Restore the zeroed invariant for the touched window only.
+	clear(counts[minB : maxB+2])
+}
+
+// expiryOf computes a record's absolute expiry for exact-TTL mode.
+func expiryOf(ts time.Time, ttl uint32) int64 {
+	return ts.Add(time.Duration(ttl) * time.Second).UnixNano()
 }
 
 // get implements Algorithm 2's deepLookUp: Active, then Inactive, then Long.
@@ -201,8 +307,12 @@ func (s *store) get(now time.Time, key string) (string, Tier) {
 	h := cmap.Hash(key)
 	n := s.splitFor(h)
 	if !s.active[n].Empty() {
-		if v, ok := s.active[n].GetHash(h, key); ok {
-			return s.checkExpiry(now, v)
+		if s.exactTTL {
+			if v, exp, ok := s.active[n].GetHashExpire(h, key); ok {
+				return s.checkExpiry(now, v, exp)
+			}
+		} else if v, ok := s.active[n].GetHash(h, key); ok {
+			return v, TierActive
 		}
 	}
 	if !s.inactive[n].Empty() {
@@ -223,8 +333,12 @@ func (s *store) get(now time.Time, key string) (string, Tier) {
 func (s *store) getBytesHash(now time.Time, h uint32, key []byte) (string, Tier) {
 	n := s.splitFor(h)
 	if !s.active[n].Empty() {
-		if v, ok := s.active[n].GetBytesHash(h, key); ok {
-			return s.checkExpiry(now, v)
+		if s.exactTTL {
+			if v, exp, ok := s.active[n].GetBytesHashExpire(h, key); ok {
+				return s.checkExpiry(now, v, exp)
+			}
+		} else if v, ok := s.active[n].GetBytesHash(h, key); ok {
+			return v, TierActive
 		}
 	}
 	if !s.inactive[n].Empty() {
@@ -240,15 +354,16 @@ func (s *store) getBytesHash(now time.Time, h uint32, key []byte) (string, Tier)
 	return "", TierNone
 }
 
-// checkExpiry resolves an Active-generation hit, decoding the stored expiry
-// in exact-TTL mode.
-func (s *store) checkExpiry(now time.Time, v string) (string, Tier) {
-	if s.exactTTL {
-		value, exp := decodeExpiry(v)
-		if now.After(exp) {
-			return "", TierNone
-		}
-		return value, TierActive
+// checkExpiry resolves an exact-TTL Active-generation hit against the typed
+// expiry: two integer loads and one compare, replacing the per-hit string
+// split + strconv parse of the former "value\x00unixNano" encoding. The
+// paper's A.8 condition (TTL_dns + Timestamp_dns < Timestamp_netflow) keeps
+// its boundary: a record expiring exactly at the flow timestamp still
+// matches. Entries without an expiry (exp 0 — memoized writes) read as
+// already expired, exactly as the string encoding resolved them.
+func (s *store) checkExpiry(now time.Time, v string, exp int64) (string, Tier) {
+	if now.UnixNano() > exp {
+		return "", TierNone
 	}
 	return v, TierActive
 }
@@ -311,11 +426,9 @@ func (s *store) maybeSweep(ts time.Time) {
 		return // another worker is sweeping
 	}
 	removed := 0
+	now := ts.UnixNano()
 	for i := range s.active {
-		removed += s.active[i].RemoveIf(func(_, v string) bool {
-			_, exp := decodeExpiry(v)
-			return ts.After(exp)
-		})
+		removed += s.active[i].RemoveIfExpired(now)
 	}
 	s.sweeps.Add(1)
 	s.swept.Add(uint64(removed))
@@ -328,21 +441,4 @@ func (s *store) size() int {
 		n += s.active[i].Len() + s.inactive[i].Len() + s.long[i].Len()
 	}
 	return n
-}
-
-// expiry encoding for exact-TTL mode: "value\x00unixNano".
-func encodeExpiry(value string, exp time.Time) string {
-	return value + "\x00" + strconv.FormatInt(exp.UnixNano(), 10)
-}
-
-func decodeExpiry(v string) (string, time.Time) {
-	i := strings.LastIndexByte(v, 0)
-	if i < 0 {
-		return v, time.Time{}
-	}
-	ns, err := strconv.ParseInt(v[i+1:], 10, 64)
-	if err != nil {
-		return v[:i], time.Time{}
-	}
-	return v[:i], time.Unix(0, ns)
 }

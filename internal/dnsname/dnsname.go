@@ -73,20 +73,40 @@ const MaxLabelLen = 63
 // Normalize lowercases a name and strips one trailing dot, the canonical
 // form FlowDNS stores in its hashmaps so that "CDN.Example.COM." and
 // "cdn.example.com" correlate to the same entry.
+//
+// The common case — a name that is already lowercase with no trailing dot,
+// which is what resolvers emit for the overwhelming majority of records —
+// returns the input string unchanged with zero allocations; a trailing dot
+// alone still costs nothing (the result is a substring of the input). Only
+// a name that actually contains an uppercase byte pays for one output
+// buffer, filled in the same single pass that found the byte (strings.
+// ToLower would rescan from the start).
 func Normalize(name string) string {
-	name = strings.TrimSuffix(name, ".")
-	// Avoid allocating when already lowercase (hot path: every DNS record).
-	lower := true
+	if n := len(name); n > 0 && name[n-1] == '.' {
+		name = name[:n-1]
+	}
 	for i := 0; i < len(name); i++ {
-		if c := name[i]; c >= 'A' && c <= 'Z' {
-			lower = false
-			break
+		c := name[i]
+		if c < 'A' || c > 'Z' {
+			continue
 		}
+		// First uppercase byte: lowercase the rest into a fresh buffer,
+		// resuming at i rather than rescanning the prefix. A Builder makes
+		// the buffer-to-string handoff free, so the slow path costs exactly
+		// one allocation.
+		var sb strings.Builder
+		sb.Grow(len(name))
+		sb.WriteString(name[:i])
+		for j := i; j < len(name); j++ {
+			c := name[j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			sb.WriteByte(c)
+		}
+		return sb.String()
 	}
-	if lower {
-		return name
-	}
-	return strings.ToLower(name)
+	return name
 }
 
 func isLetter(c byte) bool {

@@ -119,10 +119,11 @@ func runFig9(scale float64) *Result {
 					if rec.RType == dnswire.TypeCNAME {
 						continue
 					}
-					if names[rec.Answer] == nil {
-						names[rec.Answer] = make(map[string]struct{})
+					ip := rec.AnswerString()
+					if names[ip] == nil {
+						names[ip] = make(map[string]struct{})
 					}
-					names[rec.Answer][rec.Query] = struct{}{}
+					names[ip][rec.Query] = struct{}{}
 				}
 			}
 		}

@@ -190,9 +190,10 @@ func runAccuracy(_ float64) *Result {
 }
 
 // runExactTTL compares the Main design against the Appendix A.8
-// exact-TTL-expiry anti-design under identical offered load: sustained
-// throughput with concurrent FillUp/LookUp workers, implied stream loss at
-// an offered rate Main sustains, and state growth.
+// exact-TTL-expiry anti-design under identical offered load: the sustained
+// DNS insertion rate (the appendix's own bottleneck — "the DNS insertion
+// rate cannot keep up"), implied stream loss at an offered rate Main
+// sustains, and state/correlation behaviour from an interleaved replay.
 func runExactTTL(scale float64) *Result {
 	scale = clampScale(scale)
 	u := workload.NewUniverse(workload.DefaultConfig())
@@ -202,59 +203,84 @@ func runExactTTL(scale float64) *Result {
 		var dns []stream.DNSRecord
 		var flows []netflow.FlowRecord
 		// One simulated hour of dense traffic: record volume per simulated
-		// second is high (as at the ISP), so the exact-TTL sweeps — every
-		// 15 simulated seconds — each scan a large map. The contention gap
-		// between Main and ExactTTL grows with this density; the paper's
-		// 75K rec/s feed made it catastrophic (>90 % loss).
-		steps := 120
+		// second is high (as at the ISP), so the exact-TTL sweeps — every 5
+		// simulated seconds — each scan a populated map. The gap between
+		// Main and ExactTTL grows with this density; the paper's 75K rec/s
+		// feed made it catastrophic (>90 % loss).
+		steps := 360
 		for s := 0; s < steps; s++ {
-			ts := SimStart.Add(time.Duration(s) * 30 * time.Second)
-			dns = append(dns, g.DNSBatch(ts, int(1600*scale))...)
-			flows = append(flows, g.FlowBatch(ts, int(16000*scale))...)
+			ts := SimStart.Add(time.Duration(s) * 10 * time.Second)
+			dns = append(dns, g.DNSBatch(ts, int(2000*scale))...)
+			flows = append(flows, g.FlowBatch(ts, int(8000*scale))...)
 		}
 		return dns, flows
 	}
 
-	// Serial interleaved replay: fills and lookups alternate in stream
-	// proportion, so every cost the exact-TTL design adds — expiry
-	// encode/decode on each operation and the periodic full-map sweeps —
-	// lands on the measured path instead of hiding on idle cores. Two
-	// repetitions, best throughput kept, to damp scheduler noise.
-	measure := func(v core.Variant) (recsPerSec float64, peakEntries int, corr float64) {
-		dns, flows := prep(20)
+	// Sweeps must keep pace with expiry (70 % of TTLs are <= 300 s); a
+	// 5-second sweep on the record clock is the fidelity-preserving choice
+	// and is what puts the scan overhead on the measured path.
+	const sweepInterval = 5 * time.Second
+
+	// Sustained DNS insertion rate: fills only, timed. This is the A.8
+	// comparison proper — both variants run the identical allocation-free
+	// typed fill path, so the measured difference is exactly the cost the
+	// exact-TTL design adds on top: the per-put expiry bookkeeping and the
+	// periodic scan of every shard of every split ("a regular process to
+	// clear-up the expired DNS records"). The lookup side is deliberately
+	// excluded from the timed region: exact expiry changes which lookups
+	// hit (and thus how much CNAME-walk work a flow costs), which would
+	// confound the insertion-rate measurement the appendix is about.
+	// Best-of-three to damp scheduler noise.
+	fillRate := func(v core.Variant, dns []stream.DNSRecord) (recsPerSec float64) {
 		cfg := core.ConfigForVariant(v)
-		// The paper's "regular process to clear-up the expired DNS records"
-		// must keep pace with expiry (70 % of TTLs are <= 300 s); a
-		// 15-second sweep is the fidelity-preserving choice and is what
-		// makes the scan overhead visible.
-		cfg.ExactTTLSweepInterval = 15 * time.Second
-		ratio := len(flows) / max(1, len(dns))
-		for rep := 0; rep < 2; rep++ {
+		cfg.ExactTTLSweepInterval = sweepInterval
+		for rep := 0; rep < 3; rep++ {
 			c := core.New(cfg, nil)
 			start := time.Now()
-			fi := 0
-			for i := 0; i < len(dns); i++ {
+			for i := range dns {
 				c.IngestDNS(dns[i])
-				for k := 0; k < ratio && fi < len(flows); k++ {
-					c.CorrelateFlow(flows[fi])
-					fi++
-				}
-				if i%8192 == 0 {
-					ip, cn := c.StoreSizes()
-					if ip+cn > peakEntries {
-						peakEntries = ip + cn
-					}
-				}
-			}
-			for ; fi < len(flows); fi++ {
-				c.CorrelateFlow(flows[fi])
 			}
 			elapsed := time.Since(start).Seconds()
-			if t := float64(len(dns)+len(flows)) / elapsed; t > recsPerSec {
+			if t := float64(len(dns)) / elapsed; t > recsPerSec {
 				recsPerSec = t
 			}
-			corr = c.Stats().CorrelationRate()
 		}
+		return recsPerSec
+	}
+
+	// Interleaved (untimed) replay for the state-size and correlation
+	// metrics: fills and lookups alternate in stream proportion, so peak
+	// entries and the correlation rate reflect the two designs under the
+	// same traffic.
+	replay := func(v core.Variant, dns []stream.DNSRecord, flows []netflow.FlowRecord) (peakEntries int, corr float64) {
+		cfg := core.ConfigForVariant(v)
+		cfg.ExactTTLSweepInterval = sweepInterval
+		ratio := len(flows) / max(1, len(dns))
+		c := core.New(cfg, nil)
+		fi := 0
+		for i := 0; i < len(dns); i++ {
+			c.IngestDNS(dns[i])
+			for k := 0; k < ratio && fi < len(flows); k++ {
+				c.CorrelateFlow(flows[fi])
+				fi++
+			}
+			if i%8192 == 0 {
+				ip, cn := c.StoreSizes()
+				if ip+cn > peakEntries {
+					peakEntries = ip + cn
+				}
+			}
+		}
+		for ; fi < len(flows); fi++ {
+			c.CorrelateFlow(flows[fi])
+		}
+		return peakEntries, c.Stats().CorrelationRate()
+	}
+
+	measure := func(v core.Variant) (recsPerSec float64, peakEntries int, corr float64) {
+		dns, flows := prep(20) // one workload generation per variant
+		recsPerSec = fillRate(v, dns)
+		peakEntries, corr = replay(v, dns, flows)
 		return recsPerSec, peakEntries, corr
 	}
 

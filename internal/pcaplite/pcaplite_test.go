@@ -27,7 +27,7 @@ func TestBrowseProducesDNSAndData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 1 || recs[0].Query != "site-a.example" || recs[0].Answer != "198.51.100.1" {
+	if len(recs) != 1 || recs[0].Query != "site-a.example" || recs[0].Addr != netip.MustParseAddr("198.51.100.1") {
 		t.Fatalf("dns records = %+v", recs)
 	}
 	if recs[0].RType != dnswire.TypeA {
@@ -57,7 +57,7 @@ func TestBrowseIPv6(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if recs[0].RType != dnswire.TypeAAAA || recs[0].Answer != "2001:db8::10" {
+	if recs[0].RType != dnswire.TypeAAAA || recs[0].Addr != netip.MustParseAddr("2001:db8::10") {
 		t.Fatalf("v6 record = %+v", recs[0])
 	}
 }
@@ -94,7 +94,7 @@ func TestSharedIPSecondOverwrites(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("dns records = %d", len(recs))
 	}
-	if recs[0].Answer != recs[1].Answer {
+	if recs[0].Addr != recs[1].Addr {
 		t.Fatal("shared IP not shared")
 	}
 }

@@ -35,10 +35,11 @@ func NewDNSFileWriter(w io.Writer) *DNSFileWriter {
 	return &DNSFileWriter{w: bufio.NewWriter(w)}
 }
 
-// Write persists one record.
+// Write persists one record. Typed A/AAAA answers are formatted here, the
+// one place the string form is actually needed.
 func (d *DNSFileWriter) Write(rec DNSRecord) error {
 	_, err := fmt.Fprintf(d.w, "%d\t%s\t%d\t%d\t%s\n",
-		rec.Timestamp.UnixNano(), rec.Query, uint16(rec.RType), rec.TTL, rec.Answer)
+		rec.Timestamp.UnixNano(), rec.Query, uint16(rec.RType), rec.TTL, rec.AnswerString())
 	return err
 }
 
@@ -74,13 +75,23 @@ func ReadDNSFile(r io.Reader) ([]DNSRecord, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stream: dns capture line %d: ttl: %w", lineNo, err)
 		}
-		out = append(out, DNSRecord{
+		rec := DNSRecord{
 			Timestamp: time.Unix(0, ns),
 			Query:     f[1],
 			RType:     dnswire.Type(rt),
 			TTL:       uint32(ttl),
 			Answer:    f[4],
-		})
+		}
+		// Parse A/AAAA answers once here, not per ingest: a replayed capture
+		// feeds the same allocation-free typed fill path as the live wire.
+		// An unparsable address stays string-only and is rejected by the
+		// correlator's §3.2 filter, exactly as before.
+		if rec.RType == dnswire.TypeA || rec.RType == dnswire.TypeAAAA {
+			if addr, err := netip.ParseAddr(f[4]); err == nil {
+				rec.Addr = addr
+			}
+		}
+		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("stream: dns capture: %w", err)

@@ -18,37 +18,65 @@
 package stream
 
 import (
+	"net/netip"
 	"time"
 
 	"repro/internal/dnswire"
 )
 
 // DNSRecord is one flattened DNS answer as FlowDNS consumes it. Per §2 the
-// DNS stream carries "timestamp,..., [name; rtype; ttl; answer]": for an
-// A/AAAA record Answer is the address's string form and Query the domain
-// that was asked; for a CNAME record Answer is the canonical name. In every
+// DNS stream carries "timestamp,..., [name; rtype; ttl; answer]". In every
 // FlowDNS hashmap "the key is the answer section, and the value is the
 // query".
+//
+// The answer is carried typed: for an A/AAAA record Addr holds the address
+// exactly as the wire decoder produced it, so the FillUp stage builds its
+// binary IP key without ever formatting or re-parsing an address string.
+// Answer is the string form — the canonical name for a CNAME record, and
+// an optional textual address for A/AAAA records built away from the
+// decoder (capture files, hand-written tests). When both are present, Addr
+// wins; producers that only have a string should parse it once at build
+// time (as ReadDNSFile does) rather than leaving the parse to every ingest.
 type DNSRecord struct {
 	Timestamp time.Time
 	Query     string
 	RType     dnswire.Type
 	TTL       uint32
 	Answer    string
+	// Addr is the typed A/AAAA answer; invalid (the zero Addr) for CNAME
+	// records and for string-only producers.
+	Addr netip.Addr
 }
 
 // IsValid implements the paper's §3.2 step (2) filter: only well-formed
-// responses of the types FlowDNS stores pass.
+// responses of the types FlowDNS stores pass. An A/AAAA record may carry
+// its answer typed (Addr), textual (Answer), or both.
 func (r *DNSRecord) IsValid() bool {
-	if r.Timestamp.IsZero() || r.Query == "" || r.Answer == "" {
+	if r.Timestamp.IsZero() || r.Query == "" {
 		return false
 	}
 	switch r.RType {
-	case dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeCNAME:
-		return true
+	case dnswire.TypeA, dnswire.TypeAAAA:
+		return r.Addr.IsValid() || r.Answer != ""
+	case dnswire.TypeCNAME:
+		return r.Answer != ""
 	default:
 		return false
 	}
+}
+
+// AnswerString returns the answer's presentation form: the Answer string
+// when present, otherwise the typed address formatted. Only the offline
+// writers (capture persistence) use this; the live fill path never needs
+// the string form.
+func (r *DNSRecord) AnswerString() string {
+	if r.Answer != "" {
+		return r.Answer
+	}
+	if r.Addr.IsValid() {
+		return r.Addr.String()
+	}
+	return ""
 }
 
 // FlattenResponse converts a decoded DNS response message into the
@@ -56,15 +84,30 @@ func (r *DNSRecord) IsValid() bool {
 // yield nothing; answer records of types other than A/AAAA/CNAME are
 // skipped. ts is the stream-assigned receive timestamp.
 //
-// CNAME flattening note: in a DNS message a CNAME answer has Name = the
-// alias that was queried and Target = the canonical name. FlowDNS's
-// NAME-CNAME map is keyed by answer (canonical name) with the query (alias)
-// as value, so lookups can walk CDN names back toward the service name.
+// A/AAAA answers stay typed: the record carries the decoder's netip.Addr
+// untouched, with no Addr.String() round-trip (the fill path consumes the
+// binary form directly). CNAME flattening note: in a DNS message a CNAME
+// answer has Name = the alias that was queried and Target = the canonical
+// name. FlowDNS's NAME-CNAME map is keyed by answer (canonical name) with
+// the query (alias) as value, so lookups can walk CDN names back toward
+// the service name.
 func FlattenResponse(m *dnswire.Message, ts time.Time) []DNSRecord {
-	if m == nil || !m.Header.Response || m.Header.RCode != dnswire.RCodeNoError {
+	recs := FlattenResponseInto(nil, m, ts)
+	if len(recs) == 0 {
 		return nil
 	}
-	out := make([]DNSRecord, 0, len(m.Answers))
+	return recs
+}
+
+// FlattenResponseInto is FlattenResponse appending into dst, so a source
+// draining one connection can reuse a single record buffer for every frame
+// (pass dst[:0]). The appended records do not alias m or dst's previous
+// contents beyond the reused backing array; they are safe to hand to
+// Ingest.OfferDNSBatch, which copies records into the stage queue.
+func FlattenResponseInto(dst []DNSRecord, m *dnswire.Message, ts time.Time) []DNSRecord {
+	if m == nil || !m.Header.Response || m.Header.RCode != dnswire.RCodeNoError {
+		return dst
+	}
 	for i := range m.Answers {
 		a := &m.Answers[i]
 		switch a.Type {
@@ -72,18 +115,18 @@ func FlattenResponse(m *dnswire.Message, ts time.Time) []DNSRecord {
 			if !a.Addr.IsValid() {
 				continue
 			}
-			out = append(out, DNSRecord{
+			dst = append(dst, DNSRecord{
 				Timestamp: ts,
 				Query:     a.Name,
 				RType:     a.Type,
 				TTL:       a.TTL,
-				Answer:    a.Addr.String(),
+				Addr:      a.Addr,
 			})
 		case dnswire.TypeCNAME:
 			if a.Target == "" {
 				continue
 			}
-			out = append(out, DNSRecord{
+			dst = append(dst, DNSRecord{
 				Timestamp: ts,
 				Query:     a.Name,
 				RType:     a.Type,
@@ -92,5 +135,5 @@ func FlattenResponse(m *dnswire.Message, ts time.Time) []DNSRecord {
 			})
 		}
 	}
-	return out
+	return dst
 }

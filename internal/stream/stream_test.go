@@ -62,9 +62,12 @@ func TestFlattenResponse(t *testing.T) {
 		cname.Query != "video.service.example" || cname.TTL != 300 {
 		t.Fatalf("cname = %+v", cname)
 	}
-	if a.RType != dnswire.TypeA || a.Answer != "198.51.100.7" ||
+	if a.RType != dnswire.TypeA || a.Addr != netip.MustParseAddr("198.51.100.7") ||
 		a.Query != "edge7.cdn.example" || a.TTL != 60 {
 		t.Fatalf("a = %+v", a)
+	}
+	if a.Answer != "" {
+		t.Fatalf("typed A answer also carries a string: %+v", a)
 	}
 	for _, r := range recs {
 		if !r.IsValid() {

@@ -75,6 +75,9 @@ func (s *DNSTCPSource) Run(ctx context.Context, in Ingest) error {
 	defer s.conn.Close()
 	defer closeOnDone(ctx, func() { s.conn.Close() })()
 	buf := make([]byte, 0, 4096)
+	// One flatten buffer per connection: OfferDNSBatch copies records into
+	// the stage queue, so the buffer is free again the moment it returns.
+	recs := make([]DNSRecord, 0, 16)
 	for {
 		frame, err := ReadFrame(s.conn, buf)
 		if err != nil {
@@ -90,7 +93,7 @@ func (s *DNSTCPSource) Run(ctx context.Context, in Ingest) error {
 			s.counts.decodeError.Add(1)
 			continue
 		}
-		if recs := FlattenResponse(msg, s.Clock()); len(recs) > 0 {
+		if recs = FlattenResponseInto(recs[:0], msg, s.Clock()); len(recs) > 0 {
 			accepted := in.OfferDNSBatch(recs)
 			s.counts.records.Add(uint64(len(recs)))
 			s.counts.dropped.Add(uint64(len(recs) - accepted))

@@ -159,7 +159,7 @@ func (g *Generator) queryEventFor(svc *Service, ts time.Time) []stream.DNSRecord
 			Query:     edge,
 			RType:     rt,
 			TTL:       g.aTTL.sample(g.r),
-			Answer:    addr.String(),
+			Addr:      addr,
 		})
 		g.noteAnnounced(addr, svc, ts)
 	}

@@ -320,10 +320,11 @@ func TestNamesPerIPShape(t *testing.T) {
 			if rec.RType == dnswire.TypeCNAME {
 				continue
 			}
-			if names[rec.Answer] == nil {
-				names[rec.Answer] = map[string]bool{}
+			ip := rec.AnswerString()
+			if names[ip] == nil {
+				names[ip] = map[string]bool{}
 			}
-			names[rec.Answer][rec.Query] = true
+			names[ip][rec.Query] = true
 		}
 	}
 	single, total := 0, 0

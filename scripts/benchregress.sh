@@ -4,22 +4,29 @@
 #
 # Usage: scripts/benchregress.sh [base-ref]     (default: origin/main)
 #
-# Runs BenchmarkCorrelate, BenchmarkSinkWrite, and BenchmarkRollupObserve
-# on HEAD and on the base ref (in a temporary git worktree), prints a
-# benchstat comparison when
+# Runs BenchmarkCorrelate, BenchmarkSinkWrite, BenchmarkRollupObserve,
+# BenchmarkIngestDNS, and BenchmarkFlattenResponse on HEAD and on the base
+# ref (in a temporary git worktree), prints a benchstat comparison when
 # benchstat is installed, and compares per-benchmark median ns/op with a
 # plain awk check: a benchmark present in both runs that is more than
 # TOLERANCE (default 1.20 = +20% time, ≈ -17% throughput) slower fails the
 # script. Benchmarks that exist only on HEAD (newly added) are skipped.
 #
-# Tunables via environment: BENCHES, COUNT, BENCHTIME, TOLERANCE.
+# The HEAD run also snapshots the fill-path medians (BenchmarkIngestDNS*,
+# BenchmarkFlattenResponse*) into BENCH_ingest.json at the repo root, so
+# the fill-path perf trajectory is tracked commit over commit; refresh the
+# checked-in snapshot when the numbers move for a reason.
+#
+# Tunables via environment: BENCHES, COUNT, BENCHTIME, TOLERANCE, SNAPSHOT
+# (path of the JSON snapshot; empty disables).
 set -euo pipefail
 
 BASE_REF=${1:-origin/main}
-BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$'}
+BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$'}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-300ms}
 TOLERANCE=${TOLERANCE:-1.20}
+SNAPSHOT=${SNAPSHOT:-BENCH_ingest.json}
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
@@ -74,6 +81,35 @@ medians() {
 
 medians "$tmp/base.txt" | sort > "$tmp/base.med"
 medians "$tmp/head.txt" | sort > "$tmp/head.med"
+
+# Snapshot the fill-path benchmarks (median ns/op, B/op, allocs/op) from the
+# HEAD run into a JSON file tracked in the repository.
+if [ -n "$SNAPSHOT" ]; then
+    awk '/^BenchmarkIngestDNS|^BenchmarkFlattenResponse/ {
+        name = $1
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op")     ns[name]     = ns[name] " " $(i-1)
+            if ($i == "B/op")      bop[name]    = bop[name] " " $(i-1)
+            if ($i == "allocs/op") allocs[name] = allocs[name] " " $(i-1)
+        }
+    }
+    function median(list,   a, n, i, x, j) {
+        n = split(list, a, " ")
+        for (i = 2; i <= n; i++) { x = a[i]; for (j = i-1; j >= 1 && a[j]+0 > x+0; j--) a[j+1] = a[j]; a[j+1] = x }
+        return (n % 2) ? a[(n+1)/2] : (a[n/2] + a[n/2+1]) / 2
+    }
+    END {
+        for (name in ns)
+            printf "%s %s %s %s\n", name, median(ns[name]), median(bop[name]), median(allocs[name])
+    }' "$tmp/head.txt" | sort | awk '
+    BEGIN { printf "{\n  \"benchmarks\": {" }
+    {
+        if (NR > 1) printf ","
+        printf "\n    \"%s\": { \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s }", $1, $2, $3, $4
+    }
+    END { printf "\n  }\n}\n" }' > "$SNAPSHOT"
+    echo "==> wrote $SNAPSHOT"
+fi
 
 echo "==> regression check (tolerance ${TOLERANCE}x median ns/op)"
 fail=0
