@@ -13,6 +13,7 @@ package repro
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -707,4 +708,71 @@ func BenchmarkFlattenResponse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// snapshotBenchCorrelator builds a correlator holding a realistic store: n
+// A-record entries across 512 service names plus a CNAME layer, the shape
+// a few hours of resolver traffic leaves behind.
+func snapshotBenchCorrelator(n int) *core.Correlator {
+	c := core.New(core.DefaultConfig())
+	t0 := time.Unix(1653475200, 0)
+	for i := 0; i < n; i++ {
+		addr := netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+		c.IngestDNS(stream.DNSRecord{
+			Timestamp: t0, Query: fmt.Sprintf("edge%d.cdn.example", i%512),
+			RType: dnswire.TypeA, TTL: 300, Addr: addr,
+		})
+		if i%8 == 0 {
+			c.IngestDNS(stream.DNSRecord{
+				Timestamp: t0, Query: fmt.Sprintf("svc%d.example", i%512),
+				RType: dnswire.TypeCNAME, TTL: 300,
+				Answer: fmt.Sprintf("edge%d.cdn.example", i%512),
+			})
+		}
+	}
+	return c
+}
+
+// BenchmarkSnapshot measures the checkpoint write path: a full store scan
+// (lock-striped AppendShard iteration) plus codec encoding, per entry.
+// Guarded by scripts/benchregress.sh.
+func BenchmarkSnapshot(b *testing.B) {
+	const n = 100_000
+	c := snapshotBenchCorrelator(n)
+	ip, cn := c.StoreSizes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteSnapshot(io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ip+cn), "entries")
+}
+
+// BenchmarkRestore measures the boot-time restore path: decode, expiry
+// filter, re-intern, re-insert. The fresh correlator per iteration is part
+// of the cost a real boot pays. Guarded by scripts/benchregress.sh.
+func BenchmarkRestore(b *testing.B) {
+	const n = 100_000
+	src := snapshotBenchCorrelator(n)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf, 1); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	now := time.Unix(1653475200, 0)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := core.New(core.DefaultConfig())
+		st, err := c.Restore(bytes.NewReader(data), now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Entries == 0 {
+			b.Fatal("empty restore")
+		}
+	}
 }

@@ -59,6 +59,8 @@ func main() {
 		flushEvery    = flag.Duration("flush-interval", core.DefaultWriteFlushInterval, "max wait for a write batch to fill")
 		statsInterval = flag.Duration("stats-interval", 30*time.Second, "stats reporting interval")
 		skipMisses    = flag.Bool("skip-misses", false, "do not write rows for uncorrelated flows")
+		snapshotPath  = flag.String("snapshot", "", "warm-restart checkpoint file: restore on boot, checkpoint periodically and on shutdown ('' = disabled)")
+		snapshotEvery = flag.Duration("snapshot-every", core.DefaultSnapshotInterval, "checkpoint cadence when -snapshot is set")
 
 		rollupOn     = flag.Bool("rollup", false, "enable online attribution rollups (service × origin-AS × DBL category)")
 		window       = flag.Duration("window", rollup.DefaultWindow, "rollup window rotation interval (whole seconds)")
@@ -69,6 +71,23 @@ func main() {
 		dblPath      = flag.String("dbl", "", "domain blocklist file for rollup DBL-category attribution")
 	)
 	flag.Parse()
+
+	// Same contract as the config file's snapshot_every_seconds checks: a
+	// cadence without a path would silently disable the checkpointing the
+	// operator asked for, and a non-positive cadence would be silently
+	// coerced to the default instead of failing fast. Skipped in -config
+	// mode, where the file governs and these flags are unused.
+	if *configPath == "" {
+		if *snapshotPath == "" {
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "snapshot-every" {
+					log.Fatalf("flowdns: -snapshot-every set without -snapshot")
+				}
+			})
+		} else if *snapshotEvery <= 0 {
+			log.Fatalf("flowdns: non-positive -snapshot-every %v", *snapshotEvery)
+		}
+	}
 
 	if *exampleConfig {
 		data, err := json.MarshalIndent(config.Example(), "", "  ")
@@ -82,6 +101,7 @@ func main() {
 	cfg, outputs, rcfg := loadConfig(*configPath, configFlags{
 		variant: *variant, lanes: *lanes, fillLanes: *fillLanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
 		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery,
+		snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvery,
 		dnsListen: dnsListen, netflowListen: netflowListen,
 		out: *out, sink: *sinkName, skipMisses: *skipMisses,
 		rollup: config.RollupConfig{
@@ -151,6 +171,22 @@ func main() {
 		core.WithSources(sources...),
 		core.WithMetrics(*statsInterval, logStats),
 	)
+	if cfg.SnapshotPath != "" {
+		rst, rerr := c.RestoreResult()
+		switch {
+		case rerr != nil:
+			// Partial restores keep every validated section; the daemon runs
+			// on what was applied rather than refusing to start.
+			log.Printf("flowdns: snapshot restore: %v (kept %d entries from %d sections)", rerr, rst.Entries, rst.Sections)
+		case rst.Sections > 0:
+			log.Printf("flowdns: restored %d entries from %s (%d expired dropped, snapshot age %v)",
+				rst.Entries, cfg.SnapshotPath, rst.Expired,
+				time.Since(time.Unix(0, rst.Created)).Round(time.Second))
+		default:
+			log.Printf("flowdns: no snapshot at %s, cold start", cfg.SnapshotPath)
+		}
+		log.Printf("flowdns: checkpointing to %s every %v", cfg.SnapshotPath, c.Config().SnapshotEvery)
+	}
 	log.Printf("flowdns: running (variant=%s, lanes=%d, fill-lanes=%d, sink=%s, batch=%d, rollup=%v)",
 		*variant, c.Lanes(), c.FillLanes(), *sinkName, cfg.WriteBatchSize, engine != nil)
 	if err := c.Run(ctx); err != nil {
@@ -166,6 +202,8 @@ type configFlags struct {
 	fillWorkers, lookWorkers int
 	writeWorkers, batchSize  int
 	flushEvery               time.Duration
+	snapshotPath             string
+	snapshotEvery            time.Duration
 	dnsListen, netflowListen *string
 	out, sink                string
 	skipMisses               bool
@@ -184,6 +222,8 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 		cfg.WriteWorkers = f.writeWorkers
 		cfg.WriteBatchSize = f.batchSize
 		cfg.WriteFlushInterval = f.flushEvery
+		cfg.SnapshotPath = f.snapshotPath
+		cfg.SnapshotEvery = f.snapshotEvery
 		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses}}, f.rollup
 	}
 	file, err := config.Load(path)
@@ -353,4 +393,10 @@ func logStats(st core.Stats) {
 	log.Printf("flowdns: dns=%d flows=%d corr=%.3f(bytes) loss=%.5f ipname=%d namecname=%d writeDelay=%v",
 		st.DNSRecords, st.Flows, st.CorrelationRate(), st.LossRate(),
 		st.IPNameEntries, st.NameCnameEntries, time.Duration(st.MaxWriteDelayNs).Round(time.Millisecond))
+	// A failing checkpointer must be loud: a daemon that silently writes no
+	// snapshots delivers its bad news as a cold restart after the crash.
+	if st.CheckpointErrors > 0 {
+		log.Printf("flowdns: WARNING: %d checkpoint write(s) failed (%d succeeded); next restart may be cold",
+			st.CheckpointErrors, st.Checkpoints)
+	}
 }

@@ -398,6 +398,71 @@ func (m *Map) Range(fn func(key, value string) bool) {
 	}
 }
 
+// RangeExpire is Range with the stored expiry: fn receives each entry's
+// (key, value, exp) triple — exp in UnixNano, 0 = never expires — until it
+// returns false. Shards are read-locked one at a time (lock-striped, like
+// Range), so a long iteration never freezes the whole map; fn must not call
+// back into the same Map's mutating methods for keys in the shard being
+// iterated. Binary-space entries are visited with their keys rendered as
+// the raw 16-byte string form.
+func (m *Map) RangeExpire(fn func(key, value string, exp int64) bool) {
+	for _, s := range m.shards {
+		s.mu.RLock()
+		for k, e := range s.m {
+			if !fn(k, e.v, e.exp) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		for k, e := range s.mb {
+			if !fn(string(k[:]), e.v, e.exp) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// KeySpace selects one of a shard's two key namespaces for AppendShard.
+// String and binary keys are separate namespaces (a 16-byte string key and
+// a 16-byte binary key are different entries), so an iteration that intends
+// to rebuild a map must carry the space alongside the key bytes.
+type KeySpace uint8
+
+// The two key namespaces.
+const (
+	// Strings is the string key space (SetHash and friends).
+	Strings KeySpace = iota
+	// Binary is the 16-byte binary key space (SetBytesHash with a 16-byte
+	// key).
+	Binary
+)
+
+// AppendShard appends every entry of shard i's chosen key space to dst as
+// Items (Hash left zero — the shard-selection hash is the caller's choice
+// and must be recomputed on re-insert) and returns the extended slice. Key
+// bytes are fresh copies, never aliases of map-internal storage. Only shard
+// i is read-locked, and only for the duration of the copy: iterating a map
+// shard by shard (the snapshot writer's loop) blocks concurrent writers to
+// one stripe at a time instead of freezing the whole map.
+func (m *Map) AppendShard(i int, space KeySpace, dst []Item) []Item {
+	s := m.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if space == Binary {
+		for k, e := range s.mb {
+			key := k
+			dst = append(dst, Item{Key: key[:], Value: e.v, Exp: e.exp})
+		}
+		return dst
+	}
+	for k, e := range s.m {
+		dst = append(dst, Item{Key: []byte(k), Value: e.v, Exp: e.exp})
+	}
+	return dst
+}
+
 // RemoveIf deletes every entry for which pred returns true and returns the
 // number of removed entries. pred receives the stored expiry (UnixNano;
 // 0 = none) so the exact-TTL sweep compares two integers per entry instead

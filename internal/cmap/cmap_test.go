@@ -626,3 +626,141 @@ func TestRemoveIfExpired(t *testing.T) {
 		t.Fatalf("RemoveIfExpired allocates %v per run, want 0", allocs)
 	}
 }
+
+func TestRangeExpire(t *testing.T) {
+	m := New()
+	m.SetHashExpire(Hash("a"), "a", "va", 1)
+	m.SetHashExpire(Hash("b"), "b", "vb", 0)
+	bk := []byte("16-byte-bin-key!")
+	m.SetBytesHashExpire(HashBytes(bk), bk, "vbin", 7)
+
+	got := map[string]int64{}
+	m.RangeExpire(func(key, value string, exp int64) bool {
+		got[key+"="+value] = exp
+		return true
+	})
+	want := map[string]int64{"a=va": 1, "b=vb": 0, "16-byte-bin-key!=vbin": 7}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for k, exp := range want {
+		if got[k] != exp {
+			t.Fatalf("entry %s: exp %d, want %d", k, got[k], exp)
+		}
+	}
+
+	// Early termination: fn returning false stops the walk.
+	visited := 0
+	m.RangeExpire(func(key, value string, exp int64) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Fatalf("visited %d entries after false, want 1", visited)
+	}
+}
+
+// TestAppendShard checks that iterating every shard of each key space
+// reconstructs the exact map contents, that the two key spaces stay
+// separate, and that returned keys are copies, not aliases.
+func TestAppendShard(t *testing.T) {
+	m := NewWithShards(8)
+	strs := map[string]int64{}
+	bins := map[string]int64{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("string-key-%03d", i)
+		m.SetHashExpire(Hash(k), k, "sv", int64(i))
+		strs[k] = int64(i)
+		bk := []byte(fmt.Sprintf("bin-key-16byt%03d", i))
+		if len(bk) != 16 {
+			t.Fatalf("test key %q not 16 bytes", bk)
+		}
+		m.SetBytesHashExpire(HashBytes(bk), bk, "bv", int64(i))
+		bins[string(bk)] = int64(i)
+	}
+	// A 16-byte *string* key must appear in the Strings space, never Binary.
+	collide := "16-byte-str-key!"
+	m.SetHashExpire(Hash(collide), collide, "collide", -1)
+	strs[collide] = -1
+
+	var items []Item
+	gotStr := map[string]int64{}
+	for sh := 0; sh < m.ShardCount(); sh++ {
+		items = m.AppendShard(sh, Strings, items[:0])
+		for _, it := range items {
+			if it.Value != "sv" && it.Value != "collide" {
+				t.Fatalf("string space holds %q", it.Value)
+			}
+			gotStr[string(it.Key)] = it.Exp
+		}
+	}
+	gotBin := map[string]int64{}
+	for sh := 0; sh < m.ShardCount(); sh++ {
+		items = m.AppendShard(sh, Binary, items[:0])
+		for _, it := range items {
+			if len(it.Key) != 16 || it.Value != "bv" {
+				t.Fatalf("binary space holds %d-byte key %q value %q", len(it.Key), it.Key, it.Value)
+			}
+			// Returned keys must be private copies.
+			it.Key[0] ^= 0xff
+			gotBin[string(append([]byte{it.Key[0] ^ 0xff}, it.Key[1:]...))] = it.Exp
+		}
+	}
+	if len(gotStr) != len(strs) {
+		t.Fatalf("string space: %d keys, want %d", len(gotStr), len(strs))
+	}
+	for k, exp := range strs {
+		if gotStr[k] != exp {
+			t.Fatalf("string key %q: exp %d, want %d", k, gotStr[k], exp)
+		}
+	}
+	if len(gotBin) != len(bins) {
+		t.Fatalf("binary space: %d keys, want %d", len(gotBin), len(bins))
+	}
+	for k, exp := range bins {
+		if gotBin[k] != exp {
+			t.Fatalf("binary key %q: exp %d, want %d", k, gotBin[k], exp)
+		}
+	}
+	// Clobbering returned keys must not have damaged the map.
+	probe := []byte(fmt.Sprintf("bin-key-16byt%03d", 0))
+	if v, ok := m.GetBytesHash(HashBytes(probe), probe); !ok || v != "bv" {
+		t.Fatalf("map damaged by key mutation: %q, %v", v, ok)
+	}
+}
+
+// TestAppendShardConcurrent races shard iteration against writers — the
+// snapshot writer's lock-striping contract.
+func TestAppendShardConcurrent(t *testing.T) {
+	m := NewWithShards(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bk := []byte(fmt.Sprintf("bin-key-16byt%03d", i%500))
+			m.SetBytesHashExpire(HashBytes(bk), bk, "v", int64(i))
+			i++
+		}
+	}()
+	var items []Item
+	for round := 0; round < 200; round++ {
+		for sh := 0; sh < m.ShardCount(); sh++ {
+			items = m.AppendShard(sh, Binary, items[:0])
+			for _, it := range items {
+				if len(it.Key) != 16 || it.Value != "v" {
+					t.Errorf("torn item: %d-byte key, value %q", len(it.Key), it.Value)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

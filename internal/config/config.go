@@ -120,6 +120,13 @@ type CorrelatorConfig struct {
 	QueueCapacity   int    `json:"queue_capacity"`     // 0 = default
 	WriteBatchSize  int    `json:"write_batch_size"`   // 0 = default (256)
 	WriteFlushMS    int    `json:"write_flush_ms"`     // 0 = default (50 ms)
+
+	// SnapshotPath enables warm-restart checkpointing: the store is
+	// restored from this file on boot and checkpointed back every
+	// SnapshotEverySeconds (0 = default, 300 s) plus once on graceful
+	// shutdown. Empty disables checkpointing.
+	SnapshotPath         string `json:"snapshot_path"`
+	SnapshotEverySeconds int    `json:"snapshot_every_seconds"`
 }
 
 // validFormats per stream family.
@@ -266,6 +273,16 @@ func (f *File) CoreConfig() (core.Config, error) {
 	if cc.WriteFlushMS > 0 {
 		cfg.WriteFlushInterval = time.Duration(cc.WriteFlushMS) * time.Millisecond
 	}
+	if cc.SnapshotEverySeconds < 0 {
+		return core.Config{}, fmt.Errorf("config: negative snapshot_every_seconds %d", cc.SnapshotEverySeconds)
+	}
+	if cc.SnapshotEverySeconds > 0 && cc.SnapshotPath == "" {
+		return core.Config{}, fmt.Errorf("config: snapshot_every_seconds set without snapshot_path")
+	}
+	cfg.SnapshotPath = cc.SnapshotPath
+	if cc.SnapshotEverySeconds > 0 {
+		cfg.SnapshotEvery = time.Duration(cc.SnapshotEverySeconds) * time.Second
+	}
 	return cfg, nil
 }
 
@@ -292,12 +309,14 @@ func Example() *File {
 			HTTP:          ":8080",
 		},
 		Correlator: CorrelatorConfig{
-			Variant:        "Main",
-			LookupKey:      "source",
-			FillUpWorkers:  4,
-			LookUpWorkers:  core.DefaultNumSplit,
-			WriteWorkers:   2,
-			WriteBatchSize: core.DefaultWriteBatchSize,
+			Variant:              "Main",
+			LookupKey:            "source",
+			FillUpWorkers:        4,
+			LookUpWorkers:        core.DefaultNumSplit,
+			WriteWorkers:         2,
+			WriteBatchSize:       core.DefaultWriteBatchSize,
+			SnapshotPath:         "flowdns.snapshot",
+			SnapshotEverySeconds: int(core.DefaultSnapshotInterval / time.Second),
 		},
 	}
 }

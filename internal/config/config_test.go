@@ -243,3 +243,53 @@ func TestRollupSinkRegistered(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSnapshotConfig covers the warm-restart checkpoint keys: mapping into
+// core.Config, the default cadence, and the two rejection cases.
+func TestSnapshotConfig(t *testing.T) {
+	doc := `{
+		"dns_streams":[{"listen":":5353"}],
+		"correlator":{"snapshot_path":"/var/lib/flowdns/store.snapshot","snapshot_every_seconds":90}
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SnapshotPath != "/var/lib/flowdns/store.snapshot" {
+		t.Fatalf("SnapshotPath = %q", cfg.SnapshotPath)
+	}
+	if cfg.SnapshotEvery != 90*time.Second {
+		t.Fatalf("SnapshotEvery = %v", cfg.SnapshotEvery)
+	}
+
+	// Path without cadence: core's default applies at normalization; the
+	// config layer leaves the zero value alone.
+	doc = `{
+		"dns_streams":[{"listen":":5353"}],
+		"correlator":{"snapshot_path":"store.snapshot"}
+	}`
+	f, err = Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SnapshotPath != "store.snapshot" || cfg.SnapshotEvery != 0 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+
+	for doc, want := range map[string]string{
+		`{"dns_streams":[{"listen":":5353"}],"correlator":{"snapshot_path":"s","snapshot_every_seconds":-1}}`: "negative snapshot_every_seconds",
+		`{"dns_streams":[{"listen":":5353"}],"correlator":{"snapshot_every_seconds":60}}`:                     "snapshot_every_seconds set without snapshot_path",
+	} {
+		if _, err := Parse([]byte(doc)); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%s) err = %v, want containing %q", doc, err, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math/bits"
 	"net/netip"
 	"sync"
@@ -142,6 +143,11 @@ type Correlator struct {
 
 	started atomic.Bool
 
+	// restoreStats / restoreErr record the outcome of New's restore-on-boot
+	// (see RestoreResult); written once during construction, read-only after.
+	restoreStats RestoreStats
+	restoreErr   error
+
 	// sinkErr holds the first WriteBatch error; once set, write workers
 	// drain without writing and Run begins shutdown.
 	sinkErr     atomic.Pointer[error]
@@ -221,6 +227,13 @@ func New(cfg Config, opts ...Option) *Correlator {
 		if opt != nil {
 			opt(c)
 		}
+	}
+	// Restore-on-boot: repopulate the stores from the last checkpoint, if
+	// one exists. This runs after the fill lanes are built (restored names
+	// re-intern through the lane interners) and before any worker starts,
+	// so the restore itself is the only writer.
+	if cfg.SnapshotPath != "" {
+		c.restoreFromFile(cfg.SnapshotPath)
 	}
 	return c
 }
@@ -628,6 +641,32 @@ func (c *Correlator) Run(ctx context.Context) error {
 		}()
 	}
 
+	// The background checkpointer owns the periodic snapshot writes for the
+	// whole run; the final checkpoint after the drain happens on this
+	// goroutine's exit path below, so two Checkpoint calls never overlap.
+	var wgCkpt sync.WaitGroup
+	ckptStop := make(chan struct{})
+	if c.cfg.SnapshotPath != "" {
+		wgCkpt.Add(1)
+		go func() {
+			defer wgCkpt.Done()
+			ticker := time.NewTicker(c.cfg.SnapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := c.Checkpoint(c.cfg.SnapshotPath); err != nil {
+						c.stats.checkpointErrors.Add(1)
+					} else {
+						c.stats.checkpoints.Add(1)
+					}
+				case <-ckptStop:
+					return
+				}
+			}
+		}()
+	}
+
 	var wgMetrics sync.WaitGroup
 	metricsStop := make(chan struct{})
 	if c.observe != nil {
@@ -672,9 +711,23 @@ func (c *Correlator) Run(ctx context.Context) error {
 	wgWrite.Wait()
 	close(metricsStop)
 	wgMetrics.Wait()
+	close(ckptStop)
+	wgCkpt.Wait()
 
-	errs := make([]error, 0, len(srcErrs)+3)
+	errs := make([]error, 0, len(srcErrs)+4)
 	errs = append(errs, srcErrs...)
+	// Final checkpoint: the drain is complete and every worker has stopped,
+	// so this snapshot captures the exact state the next boot should resume
+	// from. Its failure is a real operational error, reported to the caller
+	// rather than just counted.
+	if c.cfg.SnapshotPath != "" {
+		if err := c.Checkpoint(c.cfg.SnapshotPath); err != nil {
+			c.stats.checkpointErrors.Add(1)
+			errs = append(errs, fmt.Errorf("core: final checkpoint: %w", err))
+		} else {
+			c.stats.checkpoints.Add(1)
+		}
+	}
 	if perr := c.sinkErr.Load(); perr != nil {
 		errs = append(errs, *perr)
 	}

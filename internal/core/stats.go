@@ -32,6 +32,9 @@ type statsCounters struct {
 
 	maxWriteDelay atomic.Int64 // ns
 
+	checkpoints      atomic.Uint64
+	checkpointErrors atomic.Uint64
+
 	chain [maxChainBucket]atomic.Uint64
 }
 
@@ -134,6 +137,16 @@ type Stats struct {
 	Sweeps             uint64 // exact-TTL mode only
 	SweptEntries       uint64
 
+	// Checkpoints counts successful snapshot writes this run (periodic plus
+	// the final one); CheckpointErrors counts failed attempts.
+	// RestoredEntries / RestoredExpired report New's restore-on-boot: how
+	// many entries the checkpoint contributed and how many it dropped as
+	// already expired.
+	Checkpoints      uint64
+	CheckpointErrors uint64
+	RestoredEntries  uint64
+	RestoredExpired  uint64
+
 	// FillQueue aggregates every fill lane's queue and LookQueue every
 	// correlation lane's; FillLanes and Lanes are the lane counts behind
 	// them.
@@ -193,6 +206,10 @@ func (c *Correlator) Stats() Stats {
 		NameCnameRotations: c.nameCname.rotations.Load(),
 		Sweeps:             c.ipName.sweeps.Load() + c.nameCname.sweeps.Load(),
 		SweptEntries:       c.ipName.swept.Load() + c.nameCname.swept.Load(),
+		Checkpoints:        c.stats.checkpoints.Load(),
+		CheckpointErrors:   c.stats.checkpointErrors.Load(),
+		RestoredEntries:    uint64(c.restoreStats.Entries),
+		RestoredExpired:    uint64(c.restoreStats.Expired),
 		WriteQueue:         c.writeQ.Stats(),
 		Lanes:              len(c.lanes),
 		FillLanes:          len(c.fillLanes),

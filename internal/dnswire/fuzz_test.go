@@ -26,9 +26,9 @@ func FuzzDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid)
-	f.Add(valid[:12])  // header only
-	f.Add(valid[:14])  // truncated question
-	f.Add([]byte{})    // empty
+	f.Add(valid[:12]) // header only
+	f.Add(valid[:14]) // truncated question
+	f.Add([]byte{})   // empty
 	// Self-referencing compression pointer at the first question name.
 	loop := append([]byte(nil), valid[:12]...)
 	loop = append(loop, 0xC0, 12, 0, 1, 0, 1)

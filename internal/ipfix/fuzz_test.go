@@ -24,9 +24,9 @@ func FuzzDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid)
-	f.Add(valid[:16])  // header only
-	f.Add(valid[:20])  // truncated set header
-	f.Add([]byte{})    // empty
+	f.Add(valid[:16])                                                // header only
+	f.Add(valid[:20])                                                // truncated set header
+	f.Add([]byte{})                                                  // empty
 	f.Add([]byte{0, 10, 0, 16, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 16}) // header length lies
 	// A template with an enterprise-number field and a variable-length
 	// field, then a data set under it.

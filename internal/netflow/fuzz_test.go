@@ -29,11 +29,11 @@ func fuzzSeedV5(t *testing.F) []byte {
 func FuzzDecodeV5(f *testing.F) {
 	valid := fuzzSeedV5(f)
 	f.Add(valid)
-	f.Add(valid[:24])           // header only
-	f.Add(valid[:37])           // truncated mid-record
-	f.Add([]byte{})             // empty
-	f.Add([]byte{0, 5})         // short header
-	f.Add([]byte{0, 9, 0, 0})   // wrong version prefix
+	f.Add(valid[:24])         // header only
+	f.Add(valid[:37])         // truncated mid-record
+	f.Add([]byte{})           // empty
+	f.Add([]byte{0, 5})       // short header
+	f.Add([]byte{0, 9, 0, 0}) // wrong version prefix
 	badCount := append([]byte(nil), valid...)
 	badCount[3] = 29 // count disagrees with payload
 	f.Add(badCount)
@@ -87,9 +87,9 @@ func FuzzDecodeV9(f *testing.F) {
 	})
 	f.Add(v4)
 	f.Add(v6)
-	f.Add(v4[:20])  // header only
-	f.Add(v4[:30])  // truncated template set
-	f.Add([]byte{}) // empty
+	f.Add(v4[:20])                                                    // header only
+	f.Add(v4[:30])                                                    // truncated template set
+	f.Add([]byte{})                                                   // empty
 	zeroLenSet := append(append([]byte(nil), v4[:20]...), 0, 0, 0, 0) // set len 0
 	f.Add(zeroLenSet)
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,133 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzSnapshotDecode drives the reader with arbitrary bytes. The decoder
+// must never panic and never over-allocate for a claimed section size; on
+// any structural damage it must fail with ErrCorrupt or ErrVersion, and a
+// stream it does accept must re-encode to an equivalent section sequence
+// (decode → encode → decode fixpoint).
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed with valid snapshots of increasing shape complexity so the
+	// fuzzer starts from the interesting region of the format.
+	seed := func(fill func(w *Writer) error) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 7)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := fill(w); err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(seed(func(w *Writer) error { return nil }))
+	f.Add(seed(func(w *Writer) error {
+		if err := w.Begin(0, 0, SectionFlagBinaryKeys, 3); err != nil {
+			return err
+		}
+		return w.Entry([]byte("0123456789abcdef"), "svc.example", 123456789)
+	}))
+	f.Add(seed(func(w *Writer) error {
+		if err := w.Begin(1, 2, 0, 0); err != nil {
+			return err
+		}
+		if err := w.Entry([]byte("edge.cdn.example"), "svc.example", -1); err != nil {
+			return err
+		}
+		if err := w.Entry(nil, "", 0); err != nil {
+			return err
+		}
+		if err := w.Begin(0, 1, SectionFlagBinaryKeys, 9); err != nil {
+			return err
+		}
+		return w.Entry(bytes.Repeat([]byte{0xff}, 16), "x", 1<<62)
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type secRec struct {
+			family, gen, flags uint8
+			split              uint32
+			keys, values       [][]byte
+			exps               []int64
+		}
+		decodeAll := func(data []byte) ([]secRec, error) {
+			r, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			var out []secRec
+			for {
+				sec, err := r.Next()
+				if err == io.EOF {
+					return out, nil
+				}
+				if err != nil {
+					return nil, err
+				}
+				rec := secRec{family: sec.Family, gen: sec.Gen, flags: sec.Flags, split: sec.Split}
+				err = sec.ForEach(func(key, value []byte, exp int64) error {
+					rec.keys = append(rec.keys, bytes.Clone(key))
+					rec.values = append(rec.values, bytes.Clone(value))
+					rec.exps = append(rec.exps, exp)
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, rec)
+			}
+		}
+
+		secs, err := decodeAll(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+
+		// Accepted input: re-encode and decode again; entries must survive.
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range secs {
+			if err := w.Begin(s.family, s.gen, s.flags, s.split); err != nil {
+				t.Fatal(err)
+			}
+			for i := range s.keys {
+				if err := w.Entry(s.keys[i], string(s.values[i]), s.exps[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := decodeAll(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		var want, got int
+		for _, s := range secs {
+			want += len(s.keys)
+		}
+		for _, s := range again {
+			got += len(s.keys)
+		}
+		if want != got {
+			t.Fatalf("re-encode lost entries: %d -> %d", want, got)
+		}
+	})
+}

@@ -450,7 +450,6 @@ func TestFileSources(t *testing.T) {
 	}
 }
 
-
 func TestFlowUDPIngestIPFIX(t *testing.T) {
 	in := newTestIngest(16, 16)
 	src := NewFlowUDPSource(nil)

@@ -5,12 +5,15 @@
 # Usage: scripts/benchregress.sh [base-ref]     (default: origin/main)
 #
 # Runs BenchmarkCorrelate, BenchmarkSinkWrite, BenchmarkRollupObserve,
-# BenchmarkIngestDNS, and BenchmarkFlattenResponse on HEAD and on the base
-# ref (in a temporary git worktree), prints a benchstat comparison when
-# benchstat is installed, and compares per-benchmark median ns/op with a
-# plain awk check: a benchmark present in both runs that is more than
-# TOLERANCE (default 1.20 = +20% time, ≈ -17% throughput) slower fails the
-# script. Benchmarks that exist only on HEAD (newly added) are skipped.
+# BenchmarkIngestDNS, BenchmarkFlattenResponse, BenchmarkSnapshot, and
+# BenchmarkRestore on HEAD and on the base ref (in a temporary git
+# worktree), prints a benchstat comparison when benchstat is installed, and
+# compares per-benchmark median ns/op with a plain awk check: a benchmark
+# present in both runs that is more than TOLERANCE (default 1.20 = +20%
+# time, ≈ -17% throughput) slower fails the script. Benchmarks that exist
+# only on HEAD (newly added) are skipped; a guarded benchmark present on
+# the base but MISSING from HEAD fails the script — a deleted or renamed
+# guard must be removed from BENCHES deliberately, not silently unguarded.
 #
 # The HEAD run also snapshots the fill-path medians (BenchmarkIngestDNS*,
 # BenchmarkFlattenResponse*) into BENCH_ingest.json at the repo root, so
@@ -22,7 +25,7 @@
 set -euo pipefail
 
 BASE_REF=${1:-origin/main}
-BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$'}
+BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$|BenchmarkSnapshot$|BenchmarkRestore$'}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-300ms}
 TOLERANCE=${TOLERANCE:-1.20}
@@ -115,7 +118,14 @@ echo "==> regression check (tolerance ${TOLERANCE}x median ns/op)"
 fail=0
 while read -r name base_med; do
     head_med=$(awk -v n="$name" '$1 == n { print $2 }' "$tmp/head.med")
-    [ -z "$head_med" ] && continue # benchmark removed on HEAD
+    if [ -z "$head_med" ]; then
+        # A guarded benchmark ran on the base but produced nothing on HEAD:
+        # it was deleted, renamed, or broken. That silently removes the
+        # regression guard, so it fails loudly instead of passing quietly.
+        printf 'MISSING %s: present on %s, absent on HEAD\n' "$name" "$BASE_REF"
+        fail=1
+        continue
+    fi
     if awk -v b="$base_med" -v h="$head_med" -v t="$TOLERANCE" \
         'BEGIN { exit !(h > b * t) }'; then
         printf 'REGRESSION %s: %s -> %s ns/op (>%sx)\n' \
