@@ -17,6 +17,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -30,8 +32,10 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/experiments"
 	"repro/internal/netflow"
+	"repro/internal/queryapi"
 	"repro/internal/rollup"
 	"repro/internal/stream"
+	"repro/internal/winstore"
 )
 
 // benchScale balances fidelity and wall time; heavyweight multi-day
@@ -708,6 +712,131 @@ func BenchmarkFlattenResponse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- query/serving plane (winstore + queryapi) ---
+
+// benchQueryStore persists `parts` hour-long partitions of one-minute
+// windows with `rowsPerWin` distinct attribution keys each — the shape a few
+// hours of sealed rollups leave on disk.
+func benchQueryStore(b *testing.B, parts, winsPerPart, rowsPerWin int) *winstore.Store {
+	b.Helper()
+	store, err := winstore.Open(winstore.Config{Dir: b.TempDir(), PartDur: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Unix(1653475200, 0).UTC()
+	for p := 0; p < parts; p++ {
+		ws := make([]rollup.Window, 0, winsPerPart)
+		for i := 0; i < winsPerPart; i++ {
+			w := rollup.Window{
+				Start: base.Add(time.Duration(p)*time.Hour + time.Duration(i)*time.Minute),
+				Dur:   time.Minute,
+			}
+			for r := 0; r < rowsPerWin; r++ {
+				w.Rows = append(w.Rows, rollup.Row{
+					Key: rollup.Key{
+						Service:  fmt.Sprintf("svc%d.example", r),
+						ASN:      uint32(64500 + r%16),
+						Category: dbl.Category(r % 6),
+					},
+					Counters: rollup.Counters{Bytes: 1500 * uint64(r+1), Packets: 10, Flows: 1},
+				})
+			}
+			ws = append(ws, rollup.MergeAll([]rollup.Window{w})) // canonical order, as seals arrive
+		}
+		if err := store.Add(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store
+}
+
+// BenchmarkQueryRange measures the query plane's range-read path over a
+// persisted six-hour store (360 one-minute windows × 256 keys): store scan,
+// per-interval merge, step bucketing, top-N cut, JSON marshal, HTTP
+// handler. Guarded by scripts/benchregress.sh.
+//
+//   - materialize: every request misses the cache (capacity 1, two
+//     alternating parameter tuples) — the full computation.
+//   - cached: the steady dashboard-refresh path — same tuple every time, the
+//     pre-marshaled body is served straight from the LRU.
+func BenchmarkQueryRange(b *testing.B) {
+	store := benchQueryStore(b, 6, 60, 256)
+	defer store.Close()
+	oldest, newest := store.Bounds()
+	urlFor := func(step int) string {
+		return fmt.Sprintf("/query/services?from=%d&to=%d&step=%d&top=10",
+			oldest.Unix(), newest.Unix(), step)
+	}
+
+	run := func(b *testing.B, srv *queryapi.Server, urls []string) {
+		b.Helper()
+		h := srv.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodGet, urls[i%len(urls)], nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+
+	b.Run("materialize", func(b *testing.B) {
+		srv, err := queryapi.New(store, queryapi.WithCache(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Two tuples through a one-entry cache: every request evicts the
+		// other's body, so each iteration pays the full scan+marshal.
+		run(b, srv, []string{urlFor(60), urlFor(300)})
+	})
+	b.Run("cached", func(b *testing.B) {
+		srv, err := queryapi.New(store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, srv, []string{urlFor(60)})
+	})
+}
+
+// BenchmarkCompact measures the store's compaction kernel: collapsing one
+// hour of partial seals (60 intervals × 8 partials × 128 rows) into one
+// canonical window per interval via the rollup merge laws. This is the
+// CPU-bound core of CompactBefore (the segment rewrite around it is I/O).
+// Guarded by scripts/benchregress.sh.
+func BenchmarkCompact(b *testing.B) {
+	base := time.Unix(1653475200, 0).UTC()
+	var windows []rollup.Window
+	for i := 0; i < 60; i++ {
+		for p := 0; p < 8; p++ {
+			w := rollup.Window{Start: base.Add(time.Duration(i) * time.Minute), Dur: time.Minute}
+			for r := 0; r < 128; r++ {
+				w.Rows = append(w.Rows, rollup.Row{
+					Key: rollup.Key{
+						// Half the keys collide across partials (the merge
+						// path), half are partial-local (the append path).
+						Service:  fmt.Sprintf("svc%d.example", r+64*(p%2)),
+						ASN:      uint32(64500 + r%16),
+						Category: dbl.Category(r % 6),
+					},
+					Counters: rollup.Counters{Bytes: 1500, Packets: 10, Flows: 1},
+				})
+			}
+			windows = append(windows, rollup.MergeAll([]rollup.Window{w}))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := winstore.CompactWindows(windows)
+		if len(out) != 60 {
+			b.Fatalf("compacted to %d intervals, want 60", len(out))
+		}
+	}
 }
 
 // snapshotBenchCorrelator builds a correlator holding a realistic store: n

@@ -37,8 +37,10 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dbl"
+	"repro/internal/queryapi"
 	"repro/internal/rollup"
 	"repro/internal/stream"
+	"repro/internal/winstore"
 )
 
 func main() {
@@ -69,6 +71,11 @@ func main() {
 		rollupHTTP   = flag.String("rollup-http", "", "listen address for the /rollups live snapshot endpoint ('' = disabled)")
 		bgpTablePath = flag.String("bgp-table", "", "prefix→origin-ASN file for rollup AS attribution")
 		dblPath      = flag.String("dbl", "", "domain blocklist file for rollup DBL-category attribution")
+
+		queryAddr    = flag.String("query-addr", "", "query-plane HTTP listen address serving /query/*, /metrics, /rollups ('' = disabled; requires -store-dir)")
+		storeDir     = flag.String("store-dir", "", "window-store partition directory persisting sealed rollup windows ('' = disabled; requires -rollup)")
+		retention    = flag.Duration("retention", 0, "delete stored partitions older than this (0 = keep everything)")
+		compactAfter = flag.Duration("compact-after", 0, "compact a partition this long after its interval ends (0 = default 10m, negative = never)")
 	)
 	flag.Parse()
 
@@ -87,6 +94,16 @@ func main() {
 		} else if *snapshotEvery <= 0 {
 			log.Fatalf("flowdns: non-positive -snapshot-every %v", *snapshotEvery)
 		}
+		// Mirror the config file's query-section validation.
+		if *retention < 0 {
+			log.Fatalf("flowdns: negative -retention %v", *retention)
+		}
+		if *queryAddr != "" && *storeDir == "" {
+			log.Fatalf("flowdns: -query-addr set without -store-dir (nothing to serve)")
+		}
+		if *storeDir != "" && !*rollupOn {
+			log.Fatalf("flowdns: -store-dir requires -rollup (the store persists sealed rollup windows)")
+		}
 	}
 
 	if *exampleConfig {
@@ -98,7 +115,7 @@ func main() {
 		return
 	}
 
-	cfg, outputs, rcfg := loadConfig(*configPath, configFlags{
+	cfg, outputs, rcfg, qcfg := loadConfig(*configPath, configFlags{
 		variant: *variant, lanes: *lanes, fillLanes: *fillLanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
 		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery,
 		snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvery,
@@ -109,6 +126,11 @@ func main() {
 			Path: *rollupOut, Format: *rollupFormat, HTTP: *rollupHTTP,
 			BGPTable: *bgpTablePath, Blocklist: *dblPath,
 		},
+		query: config.QueryConfig{
+			Listen: *queryAddr, StoreDir: *storeDir,
+			RetentionSeconds:    int(*retention / time.Second),
+			CompactAfterSeconds: int(*compactAfter / time.Second),
+		},
 	})
 
 	sink, closeFiles, err := buildSink(outputs)
@@ -117,30 +139,101 @@ func main() {
 	}
 	defer closeFiles()
 
+	// The drain flag and the stats feed are late-bound: the HTTP handlers
+	// close over the correlator pointer assigned further down, before Run.
+	var corr *core.Correlator
+	draining := func() bool { return corr != nil && corr.Draining() }
+	pipelineStats := func() core.Stats {
+		if corr == nil {
+			return core.Stats{}
+		}
+		return corr.Stats()
+	}
+	var services []core.Service
+
+	// The window store persists sealed rollup windows; its maintenance loop
+	// (compaction + retention) runs as a service under the pipeline
+	// lifecycle.
+	var store *winstore.Store
+	if cfg.StoreDir != "" {
+		store, err = winstore.Open(winstore.Config{
+			Dir:          cfg.StoreDir,
+			PartDur:      time.Duration(qcfg.PartSeconds) * time.Second,
+			Retention:    cfg.Retention,
+			CompactAfter: cfg.CompactAfter,
+		})
+		if err != nil {
+			log.Fatalf("flowdns: %v", err)
+		}
+		services = append(services, store)
+		st := store.Stats()
+		log.Printf("flowdns: window store at %s (%d partitions, %d windows on disk)",
+			store.Dir(), st.Partitions, st.Windows)
+		if st.LoadErrors > 0 {
+			log.Printf("flowdns: WARNING: %d partition(s) recovered from damaged segments (validated prefixes kept)", st.LoadErrors)
+		}
+	}
+
 	// Stack the attribution rollup sink on top of the configured outputs;
-	// the engine handle stays local for the /rollups snapshot endpoint.
+	// the engine handle stays local for the /rollups snapshot endpoint, and
+	// sealed windows fan into the store.
 	var engine *rollup.Rollup
 	if rcfg.Enabled {
+		var onSeal func([]rollup.Window)
+		if store != nil {
+			onSeal = func(ws []rollup.Window) {
+				if err := store.Add(ws); err != nil {
+					// Failed writes stay dirty in the store and retry on the
+					// next Add or the final Close; log, don't crash the seal.
+					log.Printf("flowdns: window store: %v", err)
+				}
+			}
+		}
 		var closeRollup func()
-		engine, sink, closeRollup, err = buildRollup(rcfg, sink, outputs)
+		engine, sink, closeRollup, err = buildRollup(rcfg, sink, outputs, onSeal)
 		if err != nil {
 			log.Fatalf("flowdns: %v", err)
 		}
 		defer closeRollup()
-		if rcfg.HTTP != "" {
-			ln, err := net.Listen("tcp", rcfg.HTTP)
-			if err != nil {
-				log.Fatalf("flowdns: rollup http listen %s: %v", rcfg.HTTP, err)
-			}
-			mux := http.NewServeMux()
-			mux.Handle("/rollups", rollup.Handler(engine))
-			log.Printf("flowdns: rollup snapshots on http://%s/rollups", ln.Addr())
-			go func() {
-				if err := http.Serve(ln, mux); err != nil {
-					log.Printf("flowdns: rollup http: %v", err)
-				}
-			}()
+	}
+
+	// Query plane: /query/*, /metrics, and /rollups share one mux. It is
+	// served on the query address as a lifecycle service (graceful drain),
+	// and on the legacy -rollup-http address for /rollups compatibility.
+	var qsrv *queryapi.Server
+	if cfg.QueryAddr != "" {
+		qsrv, err = queryapi.New(store,
+			queryapi.WithAddr(cfg.QueryAddr),
+			queryapi.WithRollups(engine),
+			queryapi.WithDraining(draining),
+			queryapi.WithPipelineStats(pipelineStats),
+			queryapi.WithCache(qcfg.CacheEntries),
+		)
+		if err != nil {
+			log.Fatalf("flowdns: %v", err)
 		}
+		services = append(services, qsrv)
+		log.Printf("flowdns: query plane on http://%s/query/ (step/top time-range queries, /metrics, /rollups)", cfg.QueryAddr)
+	}
+	if rcfg.HTTP != "" && rcfg.HTTP != cfg.QueryAddr {
+		var h http.Handler
+		if qsrv != nil {
+			h = qsrv.Handler()
+		} else {
+			mux := http.NewServeMux()
+			mux.Handle("/rollups", rollup.SnapshotHandler(engine, draining))
+			h = mux
+		}
+		ln, err := net.Listen("tcp", rcfg.HTTP)
+		if err != nil {
+			log.Fatalf("flowdns: rollup http listen %s: %v", rcfg.HTTP, err)
+		}
+		log.Printf("flowdns: rollup snapshots on http://%s/rollups", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, h); err != nil {
+				log.Printf("flowdns: rollup http: %v", err)
+			}
+		}()
 	}
 
 	// Wire sources: every DNS listen address accepts any number of stream
@@ -170,7 +263,9 @@ func main() {
 		core.WithSink(sink),
 		core.WithSources(sources...),
 		core.WithMetrics(*statsInterval, logStats),
+		core.WithServices(services...),
 	)
+	corr = c
 	if cfg.SnapshotPath != "" {
 		rst, rerr := c.RestoreResult()
 		switch {
@@ -208,11 +303,12 @@ type configFlags struct {
 	out, sink                string
 	skipMisses               bool
 	rollup                   config.RollupConfig
+	query                    config.QueryConfig
 }
 
-// loadConfig resolves the correlator config, output list, and rollup
+// loadConfig resolves the correlator config, output list, and rollup/query
 // settings from the config file when given, from flags otherwise.
-func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig, config.RollupConfig) {
+func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig, config.RollupConfig, config.QueryConfig) {
 	if path == "" {
 		cfg := core.ConfigForVariant(core.Variant(f.variant))
 		cfg.Lanes = f.lanes
@@ -224,7 +320,11 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 		cfg.WriteFlushInterval = f.flushEvery
 		cfg.SnapshotPath = f.snapshotPath
 		cfg.SnapshotEvery = f.snapshotEvery
-		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses}}, f.rollup
+		cfg.QueryAddr = f.query.Listen
+		cfg.StoreDir = f.query.StoreDir
+		cfg.Retention = time.Duration(f.query.RetentionSeconds) * time.Second
+		cfg.CompactAfter = time.Duration(f.query.CompactAfterSeconds) * time.Second
+		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses}}, f.rollup, f.query
 	}
 	file, err := config.Load(path)
 	if err != nil {
@@ -249,7 +349,7 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 	if outputs[0].Path == "" && outputs[0].NeedsWriter() {
 		outputs[0].Path = f.out
 	}
-	return cfg, outputs, file.Rollup
+	return cfg, outputs, file.Rollup, file.Query
 }
 
 // windowSeconds converts the -window duration to the config field's whole
@@ -266,13 +366,16 @@ func windowSeconds(d time.Duration) int {
 // buildRollup constructs the attribution rollup engine and its sink, and
 // stacks the sink on top of base through the multi-sink. The returned
 // cleanup closes the export file after the pipeline has drained.
-func buildRollup(rc config.RollupConfig, base core.Sink, outputs []config.OutputConfig) (*rollup.Rollup, core.Sink, func(), error) {
+func buildRollup(rc config.RollupConfig, base core.Sink, outputs []config.OutputConfig, onSeal func([]rollup.Window)) (*rollup.Rollup, core.Sink, func(), error) {
 	format, err := rollup.ParseFormat(rc.Format)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	engine := rollup.New(rc.Window(), rc.Shards)
 	opts := []rollup.SinkOption{rollup.WithRotation(rc.Window())}
+	if onSeal != nil {
+		opts = append(opts, rollup.WithOnSeal(onSeal))
+	}
 	if rc.BGPTable != "" {
 		table, err := bgp.LoadTable(rc.BGPTable)
 		if err != nil {

@@ -36,6 +36,10 @@ type File struct {
 	// Rollup configures the online attribution rollups (§5 use cases
 	// computed in-pipeline; see internal/rollup). Disabled by default.
 	Rollup RollupConfig `json:"rollup"`
+	// Query configures the query plane: the on-disk window store persisting
+	// sealed rollups and the /query/* HTTP API over it (see
+	// internal/winstore and internal/queryapi). Requires the rollup sink.
+	Query QueryConfig `json:"query"`
 }
 
 // StreamConfig describes one input stream.
@@ -95,6 +99,31 @@ type RollupConfig struct {
 	// ("" = disabled).
 	HTTP string `json:"http"`
 }
+
+// QueryConfig configures the serving plane over sealed rollup windows.
+type QueryConfig struct {
+	// Listen is the query-plane HTTP address serving /query/*, /metrics,
+	// and /rollups ("" = no query server).
+	Listen string `json:"listen"`
+	// StoreDir is the window store's partition directory ("" = sealed
+	// windows are not persisted; the query server, if any, answers empty).
+	StoreDir string `json:"store_dir"`
+	// PartSeconds is the partition interval — one segment file per interval
+	// of sealed windows; 0 = 3600.
+	PartSeconds int `json:"part_seconds"`
+	// RetentionSeconds deletes partitions older than this; 0 keeps
+	// everything.
+	RetentionSeconds int `json:"retention_seconds"`
+	// CompactAfterSeconds is how long after a partition's interval ends
+	// before its windows are compacted; 0 = store default (600), negative
+	// disables compaction.
+	CompactAfterSeconds int `json:"compact_after_seconds"`
+	// CacheEntries bounds the materialized-result cache; 0 = default (256).
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Enabled reports whether any query-plane component is configured.
+func (qc QueryConfig) Enabled() bool { return qc.Listen != "" || qc.StoreDir != "" }
 
 // Window returns the rotation interval as a duration.
 func (rc RollupConfig) Window() time.Duration {
@@ -198,6 +227,23 @@ func Parse(data []byte) (*File, error) {
 			return nil, fmt.Errorf("config: rollup: negative shards %d", f.Rollup.Shards)
 		}
 	}
+	if f.Query.Enabled() {
+		if !f.Rollup.Enabled {
+			return nil, fmt.Errorf("config: query: requires rollup.enabled (the query plane serves sealed rollup windows)")
+		}
+		if f.Query.Listen != "" && f.Query.StoreDir == "" {
+			return nil, fmt.Errorf("config: query: listen without store_dir (nothing to serve)")
+		}
+		if f.Query.PartSeconds < 0 {
+			return nil, fmt.Errorf("config: query: negative part_seconds %d", f.Query.PartSeconds)
+		}
+		if f.Query.RetentionSeconds < 0 {
+			return nil, fmt.Errorf("config: query: negative retention_seconds %d", f.Query.RetentionSeconds)
+		}
+		if f.Query.CacheEntries < 0 {
+			return nil, fmt.Errorf("config: query: negative cache_entries %d", f.Query.CacheEntries)
+		}
+	}
 	if _, err := f.CoreConfig(); err != nil {
 		return nil, err
 	}
@@ -283,6 +329,12 @@ func (f *File) CoreConfig() (core.Config, error) {
 	if cc.SnapshotEverySeconds > 0 {
 		cfg.SnapshotEvery = time.Duration(cc.SnapshotEverySeconds) * time.Second
 	}
+	cfg.QueryAddr = f.Query.Listen
+	cfg.StoreDir = f.Query.StoreDir
+	if f.Query.RetentionSeconds > 0 {
+		cfg.Retention = time.Duration(f.Query.RetentionSeconds) * time.Second
+	}
+	cfg.CompactAfter = time.Duration(f.Query.CompactAfterSeconds) * time.Second
 	return cfg, nil
 }
 
@@ -307,6 +359,14 @@ func Example() *File {
 			BGPTable:      "bgp-table.txt",
 			Blocklist:     "blocklist.txt",
 			HTTP:          ":8080",
+		},
+		Query: QueryConfig{
+			Listen:              ":8081",
+			StoreDir:            "winstore",
+			PartSeconds:         3600,
+			RetentionSeconds:    7 * 24 * 3600,
+			CompactAfterSeconds: 600,
+			CacheEntries:        256,
 		},
 		Correlator: CorrelatorConfig{
 			Variant:              "Main",

@@ -81,12 +81,67 @@ func TestParseErrors(t *testing.T) {
 		{`{"dns_streams":[{"listen":":1"}],"output":{"sink":"multi"}}`, "implied"},
 		{`{"dns_streams":[{"listen":":1"}],"output":{"sink":"counting","path":"x.tsv"}}`, "does not write to a file"},
 		{`{"dns_streams":[{"listen":":1"}],"outputs":[{"sink":"bogus"}]}`, "outputs[0]"},
+		{`{"dns_streams":[{"listen":":1"}],"query":{"listen":":8081","store_dir":"w"}}`, "requires rollup.enabled"},
+		{`{"dns_streams":[{"listen":":1"}],"rollup":{"enabled":true},"query":{"listen":":8081"}}`, "listen without store_dir"},
+		{`{"dns_streams":[{"listen":":1"}],"rollup":{"enabled":true},"query":{"store_dir":"w","part_seconds":-1}}`, "negative part_seconds"},
+		{`{"dns_streams":[{"listen":":1"}],"rollup":{"enabled":true},"query":{"store_dir":"w","retention_seconds":-1}}`, "negative retention_seconds"},
+		{`{"dns_streams":[{"listen":":1"}],"rollup":{"enabled":true},"query":{"store_dir":"w","cache_entries":-1}}`, "negative cache_entries"},
 	}
 	for _, c := range cases {
 		_, err := Parse([]byte(c.doc))
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("Parse(%q) err = %v, want containing %q", c.doc, err, c.want)
 		}
+	}
+}
+
+func TestQueryConfig(t *testing.T) {
+	doc := `{
+		"dns_streams":[{"listen":":5353"}],
+		"rollup":{"enabled":true},
+		"query":{
+			"listen":":8081",
+			"store_dir":"winstore",
+			"part_seconds":1800,
+			"retention_seconds":86400,
+			"compact_after_seconds":300,
+			"cache_entries":64
+		}
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Query.Enabled() {
+		t.Fatal("query section not enabled")
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.QueryAddr != ":8081" || cfg.StoreDir != "winstore" {
+		t.Fatalf("core mapping: addr %q dir %q", cfg.QueryAddr, cfg.StoreDir)
+	}
+	if cfg.Retention != 24*time.Hour || cfg.CompactAfter != 5*time.Minute {
+		t.Fatalf("core mapping: retention %v compact_after %v", cfg.Retention, cfg.CompactAfter)
+	}
+
+	// Store without server is valid (persist-only), and a negative
+	// compact_after disables compaction rather than erroring.
+	f2, err := Parse([]byte(`{
+		"dns_streams":[{"listen":":5353"}],
+		"rollup":{"enabled":true},
+		"query":{"store_dir":"w","compact_after_seconds":-1}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := f2.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.QueryAddr != "" || cfg2.StoreDir != "w" || cfg2.CompactAfter >= 0 {
+		t.Fatalf("persist-only mapping: %+v", cfg2)
 	}
 }
 

@@ -159,6 +159,25 @@ type Config struct {
 	// DefaultSnapshotInterval. Shorter intervals narrow the answer-state
 	// window a crash loses at the cost of re-scanning the store more often.
 	SnapshotEvery time.Duration
+
+	// Query-plane knobs. The correlator itself never reads these — the
+	// daemon wires the window store and query server from them (the serving
+	// plane depends on the rollup layer, which depends on this package) —
+	// but they live here so every frontend (flags, config file, embedding
+	// programs) shares one source of truth, like the fields above.
+
+	// QueryAddr is the query-plane HTTP listen address (/query/*, /metrics,
+	// /rollups). Empty disables the server.
+	QueryAddr string
+	// StoreDir is the window store's partition directory. Empty disables
+	// on-disk persistence of sealed rollup windows.
+	StoreDir string
+	// Retention bounds how far back stored partitions are kept; 0 keeps
+	// everything.
+	Retention time.Duration
+	// CompactAfter is how long after a partition's interval ends before its
+	// windows are compacted; 0 uses the store default, negative disables.
+	CompactAfter time.Duration
 }
 
 // DefaultConfig returns the paper's Main configuration.

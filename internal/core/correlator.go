@@ -85,6 +85,31 @@ func WithSources(srcs ...stream.Source) Option {
 	}
 }
 
+// Service is an auxiliary long-running component the correlator hosts for
+// the duration of a run — the query-plane HTTP server, the window store's
+// maintenance loop. Run launches every attached service alongside the
+// pipeline workers and stops it (by cancelling its context) only after the
+// drain completes and the sink has closed, so services observe the final
+// flushed state before shutting down. A service that returns early with an
+// error does not stop the pipeline; the error is joined into Run's result.
+type Service interface {
+	// Name labels the service in errors.
+	Name() string
+	// Serve runs until ctx is done; its return is joined into Run's error.
+	Serve(ctx context.Context) error
+}
+
+// WithServices attaches auxiliary services to the run lifecycle.
+func WithServices(svcs ...Service) Option {
+	return func(c *Correlator) {
+		for _, s := range svcs {
+			if s != nil {
+				c.services = append(c.services, s)
+			}
+		}
+	}
+}
+
 // WithMetrics invokes observe with a stats snapshot every interval while
 // Run is active, plus once at the end of the drain — the hook the daemon
 // uses for periodic logging and exporters use for scraping.
@@ -104,9 +129,14 @@ func WithMetrics(interval time.Duration, observe func(Stats)) Option {
 // at any time. The deterministic IngestDNS/CorrelateFlow methods bypass
 // the queues for offline replays.
 type Correlator struct {
-	cfg     Config
-	sink    Sink
-	sources []stream.Source
+	cfg      Config
+	sink     Sink
+	sources  []stream.Source
+	services []Service
+
+	// draining closes the moment Run begins its graceful drain; Draining()
+	// is the flag HTTP handlers consult to stop racing the sealing path.
+	draining chan struct{}
 
 	metricsInterval time.Duration
 	observe         func(Stats)
@@ -189,6 +219,7 @@ func New(cfg Config, opts ...Option) *Correlator {
 		lanes:      make([]*corrLane, cfg.Lanes),
 		writeQ:     queue.New[CorrelatedFlow](cfg.WriteQueueCap),
 		sinkFailed: make(chan struct{}),
+		draining:   make(chan struct{}),
 	}
 	// FillQueueCap is the total fill buffer, divided evenly across fill
 	// lanes (same contract as LookQueueCap below).
@@ -667,6 +698,25 @@ func (c *Correlator) Run(ctx context.Context) error {
 		}()
 	}
 
+	// Services outlive the drain: the query plane keeps answering (and the
+	// store keeps maintaining) while the pipeline flushes, and stops only
+	// after the sink has closed — so a service shutdown snapshot sees the
+	// final persisted state. WithoutCancel detaches them from the caller's
+	// cancellation; svcStop is the lifecycle's own switch.
+	svcCtx, svcStop := context.WithCancel(context.WithoutCancel(ctx))
+	defer svcStop()
+	var wgSvc sync.WaitGroup
+	svcErrs := make([]error, len(c.services))
+	for i, svc := range c.services {
+		wgSvc.Add(1)
+		go func(i int, svc Service) {
+			defer wgSvc.Done()
+			if err := svc.Serve(svcCtx); err != nil {
+				svcErrs[i] = fmt.Errorf("core: service %s: %w", svc.Name(), err)
+			}
+		}(i, svc)
+	}
+
 	var wgMetrics sync.WaitGroup
 	metricsStop := make(chan struct{})
 	if c.observe != nil {
@@ -692,6 +742,7 @@ func (c *Correlator) Run(ctx context.Context) error {
 	case <-srcFailed:
 	case <-sourcesDone:
 	}
+	close(c.draining)
 
 	// Graceful drain: stop intake, then close and drain stage by stage.
 	// Every lane queue closes before the write queue does, and the
@@ -732,10 +783,27 @@ func (c *Correlator) Run(ctx context.Context) error {
 		errs = append(errs, *perr)
 	}
 	errs = append(errs, c.sink.Flush(), c.sink.Close())
+	// The sink is closed: every sealed window has reached its OnSeal targets.
+	// Now stop the services and wait them out.
+	svcStop()
+	wgSvc.Wait()
+	errs = append(errs, svcErrs...)
 	if c.observe != nil {
 		c.observe(c.Stats())
 	}
 	return errors.Join(errs...)
+}
+
+// Draining reports whether Run has begun its graceful drain — the flag the
+// HTTP snapshot handlers consult to answer 503 instead of racing the
+// sealing path. It stays true after Run returns.
+func (c *Correlator) Draining() bool {
+	select {
+	case <-c.draining:
+		return true
+	default:
+		return false
+	}
 }
 
 // failSink records the first sink error and triggers shutdown.

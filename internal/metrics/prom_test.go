@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterFormat(t *testing.T) {
+	p := NewPromWriter()
+	p.Counter("flowdns_flows_total", "Flow records processed.", nil, 42)
+	p.Counter("flowdns_lookup_hits_total", "LookUp hits by tier.",
+		map[string]string{"tier": "active"}, 10)
+	p.Counter("flowdns_lookup_hits_total", "LookUp hits by tier.",
+		map[string]string{"tier": "long"}, 3)
+	p.Gauge("flowdns_correlation_rate", "Correlated bytes over total bytes.", nil, 0.817)
+	p.GaugeInt("flowdns_store_partitions", "Partitions in the window store.", nil, 7)
+
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP flowdns_flows_total Flow records processed.
+# TYPE flowdns_flows_total counter
+flowdns_flows_total 42
+# HELP flowdns_lookup_hits_total LookUp hits by tier.
+# TYPE flowdns_lookup_hits_total counter
+flowdns_lookup_hits_total{tier="active"} 10
+flowdns_lookup_hits_total{tier="long"} 3
+# HELP flowdns_correlation_rate Correlated bytes over total bytes.
+# TYPE flowdns_correlation_rate gauge
+flowdns_correlation_rate 0.817
+# HELP flowdns_store_partitions Partitions in the window store.
+# TYPE flowdns_store_partitions gauge
+flowdns_store_partitions 7
+`
+	if got != want {
+		t.Fatalf("exposition diverges:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	p := NewPromWriter()
+	p.Counter("m", "h", map[string]string{"k": "a\"b\\c\nd"}, 1)
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `m{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestPromLabelsSorted(t *testing.T) {
+	p := NewPromWriter()
+	p.Counter("m", "h", map[string]string{"z": "1", "a": "2"}, 1)
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `m{a="2",z="1"} 1`) {
+		t.Fatalf("labels not sorted:\n%s", b.String())
+	}
+}

@@ -1,0 +1,124 @@
+package queryapi
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCacheEntries bounds the materialized-result cache. Dashboards ask
+// the same handful of (range, step, top) shapes over and over; a few
+// hundred pre-marshaled bodies cover them.
+const DefaultCacheEntries = 256
+
+// CacheStats is a point-in-time snapshot of the cache counters, exported on
+// /metrics and /query/health.
+type CacheStats struct {
+	Entries       int    `json:"entries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"` // entries dropped by InvalidateRange
+}
+
+// cacheEntry is one materialized range result: the exact response body plus
+// the half-open data range it covers, so partition-level invalidation can
+// drop precisely the overlapping entries.
+type cacheEntry struct {
+	key      string
+	body     []byte
+	from, to time.Time
+}
+
+// cache is a mutex-guarded LRU of pre-marshaled query responses. The store
+// feeds InvalidateRange through winstore.Store.OnInvalidate whenever a
+// partition's contents change (seal, compaction, retention), so a cached
+// body is served only while every partition under it is unchanged.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+func newCache(maxEntries int) *cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &cache{
+		max:     maxEntries,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, or nil.
+func (c *cache) get(key string) []byte {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).body
+}
+
+// put stores body for key, covering the half-open data range [from, to).
+func (c *cache) put(key string, body []byte, from, to time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body, from: from, to: to})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// InvalidateRange drops every entry whose data range overlaps [from, to) —
+// the per-partition invalidation feed.
+func (c *cache) InvalidateRange(from, to time.Time) {
+	c.mu.Lock()
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.from.Before(to) && e.to.After(from) {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			c.invalidations.Add(1)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// stats snapshots the cache.
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	n := c.order.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:       n,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}

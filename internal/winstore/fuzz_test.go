@@ -1,0 +1,71 @@
+package winstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzSegmentDecode drives the segment decoder with arbitrary bytes. The
+// decoder must never panic and never allocate for an oversized claim; on
+// any structural damage it must fail with ErrCorrupt or ErrVersion, and a
+// segment it does accept must re-encode to an equivalent segment (decode →
+// encode → decode fixpoint). Because the encoder may rotate a large window
+// across sections, the fixpoint compares per-interval row multisets, not
+// per-section shapes.
+func FuzzSegmentDecode(f *testing.F) {
+	seed := func(seg *Segment) []byte {
+		var buf bytes.Buffer
+		if err := EncodeSegment(&buf, seg); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := time.Date(2022, 5, 25, 12, 0, 0, 0, time.UTC)
+	f.Add([]byte{})
+	f.Add(seed(&Segment{Start: base, Dur: time.Hour}))
+	minimal := &Segment{Start: base, Dur: time.Hour}
+	minimal.Windows = append(minimal.Windows, mkWindow(base, time.Minute, 1, 7))
+	f.Add(seed(minimal))
+	f.Add(seed(testSegment()))
+	compacted := testSegment()
+	compacted.Compacted = true
+	compacted.Windows = CompactWindows(compacted.Windows)
+	f.Add(seed(compacted))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := DecodeSegment(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+
+		// Accepted input: encode and decode again; the canonical view of the
+		// windows must survive the round trip exactly.
+		var buf bytes.Buffer
+		if err := EncodeSegment(&buf, seg); err != nil {
+			t.Fatalf("re-encode of accepted segment failed: %v", err)
+		}
+		again, err := DecodeSegment(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded segment failed to decode: %v", err)
+		}
+		if !again.Start.Equal(seg.Start) || again.Dur != seg.Dur || again.Compacted != seg.Compacted {
+			t.Fatalf("header drifted: %v/%v/%v -> %v/%v/%v",
+				seg.Start, seg.Dur, seg.Compacted, again.Start, again.Dur, again.Compacted)
+		}
+		wantRows, gotRows := 0, 0
+		for i := range seg.Windows {
+			wantRows += len(seg.Windows[i].Rows)
+		}
+		for i := range again.Windows {
+			gotRows += len(again.Windows[i].Rows)
+		}
+		if wantRows != gotRows {
+			t.Fatalf("re-encode lost rows: %d -> %d", wantRows, gotRows)
+		}
+	})
+}

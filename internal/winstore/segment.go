@@ -1,0 +1,356 @@
+// Package winstore persists sealed rollup windows into a time-partitioned
+// on-disk store and serves them back for time-range queries — the durable
+// half of the query plane (the HTTP half is internal/queryapi).
+//
+// The pipeline's rollup sink seals one window per rotation interval; a
+// Store groups those windows into partitions of PartDur wall-clock time
+// (one segment file per partition interval) and keeps an in-memory index
+// of every partition's windows, so range queries never touch the disk.
+// Disk is durability: a restarted process re-opens the directory and
+// answers the same queries from the persisted segments.
+//
+// # Segment format
+//
+// A segment file reuses the snapshot codec's framing discipline — magic and
+// version header, CRC32 (IEEE) over every region, atomic temp-file+rename
+// writes, and an end marker that distinguishes truncation from completion:
+//
+//	header : "FDWP" | version u16 | flags u16 | partStart i64 | partDur i64 | crc u32
+//	section: 'W' | flags u8 | winStart i64 | winDur u32 | rows u32 | payloadLen u32 | crc u32 | payload
+//	end    : 'E' | sections u32 | crc u32
+//
+// All integers are little-endian; durations are whole seconds. Each
+// section is one sealed window (or one partial of it: oversized windows
+// rotate across several sections with the same interval, exactly as
+// snapshot sections rotate — partials merge back under the rollup merge
+// laws). A section payload is `rows` encoded rows:
+//
+//	row: serviceLen uvarint | service | asn uvarint | category u8 |
+//	     bytes u64 | packets u64 | flows u64
+//
+// A decoder that hits damage mid-file returns every section it already
+// CRC-validated along with the error, so a partially written or torn
+// partition still contributes its validated prefix.
+package winstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dbl"
+	"repro/internal/rollup"
+)
+
+// Version is the segment format version this package writes. Readers
+// reject files with a greater version.
+const Version = 1
+
+// Magic identifies a window-store segment file.
+const Magic = "FDWP"
+
+const (
+	headerLen     = 28 // magic(4) version(2) flags(2) partStart(8) partDur(8) crc(4)
+	sectionHdrLen = 26 // 'W'(1) flags(1) winStart(8) winDur(4) rows(4) payloadLen(4) crc(4)
+	endLen        = 9  // 'E'(1) sections(4) crc(4)
+
+	sectionMarker = 'W'
+	endMarker     = 'E'
+
+	// sectionMaxBytes bounds one section's payload: the encoder rotates an
+	// oversized window into a fresh section of the same interval, and the
+	// decoder rejects claimed lengths beyond twice this before allocating —
+	// a corrupted length field can never force a huge allocation.
+	sectionMaxBytes = 1 << 22
+
+	// rowMinBytes is the smallest possible encoded row (empty service,
+	// 1-byte ASN varint, category, three fixed counters); the decoder
+	// cross-checks a section's row count against its payload length with it.
+	rowMinBytes = 1 + 1 + 1 + 24
+)
+
+// SegFlagCompacted marks a segment whose windows have been compacted: one
+// canonical window per interval, partials already merged.
+const SegFlagCompacted = 1 << 0
+
+// ErrCorrupt reports a structurally invalid or checksum-failing segment.
+// Errors from DecodeSegment wrap it; Open treats it as a partial partition
+// and keeps the validated prefix.
+var ErrCorrupt = errors.New("winstore: corrupt")
+
+// ErrVersion reports a segment written by a newer format version.
+var ErrVersion = errors.New("winstore: unsupported version")
+
+// Segment is the decoded contents of one partition file: the partition
+// interval plus every sealed window (or validated partial) it holds.
+type Segment struct {
+	// Start and Dur delimit the partition interval [Start, Start+Dur).
+	Start time.Time
+	Dur   time.Duration
+	// Compacted reports the SegFlagCompacted header flag.
+	Compacted bool
+	// Windows are the stored windows in file order. Several entries may
+	// share one interval (partials from late flows or section rotation);
+	// they merge back under rollup.Merge.
+	Windows []rollup.Window
+}
+
+// EncodeSegment writes seg to w in segment format. Windows are written in
+// slice order, one section each; windows whose encoding outgrows the
+// section size limit rotate into additional sections of the same interval.
+func EncodeSegment(w io.Writer, seg *Segment) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [headerLen]byte
+	copy(hdr[:4], Magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	var flags uint16
+	if seg.Compacted {
+		flags |= SegFlagCompacted
+	}
+	binary.LittleEndian.PutUint16(hdr[6:8], flags)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(seg.Start.Unix()))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(seg.Dur/time.Second))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.ChecksumIEEE(hdr[:24]))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var sections uint32
+	var payload []byte
+	writeSection := func(win *rollup.Window, rows uint32) error {
+		var sh [sectionHdrLen]byte
+		sh[0] = sectionMarker
+		binary.LittleEndian.PutUint64(sh[2:10], uint64(win.Start.Unix()))
+		binary.LittleEndian.PutUint32(sh[10:14], uint32(win.Dur/time.Second))
+		binary.LittleEndian.PutUint32(sh[14:18], rows)
+		binary.LittleEndian.PutUint32(sh[18:22], uint32(len(payload)))
+		crc := crc32.NewIEEE()
+		crc.Write(sh[1:22])
+		crc.Write(payload)
+		binary.LittleEndian.PutUint32(sh[22:26], crc.Sum32())
+		if _, err := bw.Write(sh[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return err
+		}
+		payload = payload[:0]
+		sections++
+		return nil
+	}
+	for i := range seg.Windows {
+		win := &seg.Windows[i]
+		rows := uint32(0)
+		for r := range win.Rows {
+			payload = appendRow(payload, &win.Rows[r])
+			rows++
+			if len(payload) >= sectionMaxBytes && r+1 < len(win.Rows) {
+				// Rotate: flush this partial and continue the window in a
+				// fresh section of the same interval.
+				if err := writeSection(win, rows); err != nil {
+					return err
+				}
+				rows = 0
+			}
+		}
+		if err := writeSection(win, rows); err != nil {
+			return err
+		}
+	}
+	var end [endLen]byte
+	end[0] = endMarker
+	binary.LittleEndian.PutUint32(end[1:5], sections)
+	binary.LittleEndian.PutUint32(end[5:9], crc32.ChecksumIEEE(end[:5]))
+	if _, err := bw.Write(end[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendRow encodes one rollup row.
+func appendRow(b []byte, r *rollup.Row) []byte {
+	var pfx [binary.MaxVarintLen64]byte
+	b = append(b, pfx[:binary.PutUvarint(pfx[:], uint64(len(r.Service)))]...)
+	b = append(b, r.Service...)
+	b = append(b, pfx[:binary.PutUvarint(pfx[:], uint64(r.ASN))]...)
+	b = append(b, byte(r.Category))
+	b = binary.LittleEndian.AppendUint64(b, r.Bytes)
+	b = binary.LittleEndian.AppendUint64(b, r.Packets)
+	b = binary.LittleEndian.AppendUint64(b, r.Flows)
+	return b
+}
+
+// decodeRows decodes count rows from payload.
+func decodeRows(payload []byte, count uint32) ([]rollup.Row, error) {
+	if count == 0 {
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("%w: %d payload bytes after 0 rows", ErrCorrupt, len(payload))
+		}
+		return nil, nil
+	}
+	rows := make([]rollup.Row, 0, count)
+	p := payload
+	for i := uint32(0); i < count; i++ {
+		n, used := binary.Uvarint(p)
+		if used <= 0 || n > uint64(len(p)-used) {
+			return nil, fmt.Errorf("%w: row %d: bad service length", ErrCorrupt, i)
+		}
+		svc := string(p[used : used+int(n)])
+		p = p[used+int(n):]
+		asn, used := binary.Uvarint(p)
+		if used <= 0 || asn > 1<<32-1 {
+			return nil, fmt.Errorf("%w: row %d: bad asn", ErrCorrupt, i)
+		}
+		p = p[used:]
+		if len(p) < 1+24 {
+			return nil, fmt.Errorf("%w: row %d: short counters", ErrCorrupt, i)
+		}
+		cat := dbl.Category(p[0])
+		rows = append(rows, rollup.Row{
+			Key: rollup.Key{Service: svc, ASN: uint32(asn), Category: cat},
+			Counters: rollup.Counters{
+				Bytes:   binary.LittleEndian.Uint64(p[1:9]),
+				Packets: binary.LittleEndian.Uint64(p[9:17]),
+				Flows:   binary.LittleEndian.Uint64(p[17:25]),
+			},
+		})
+		p = p[25:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes after %d rows", ErrCorrupt, len(p), count)
+	}
+	return rows, nil
+}
+
+// DecodeSegment reads a segment stream. On damage it returns the segment
+// populated with every section validated so far plus a non-nil error
+// wrapping ErrCorrupt (or ErrVersion) — the partial-prefix contract Open
+// relies on: a torn write costs the tail, never the partition.
+func DecodeSegment(r io.Reader) (*Segment, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if got, want := binary.LittleEndian.Uint32(hdr[24:28]), crc32.ChecksumIEEE(hdr[:24]); got != want {
+		return nil, fmt.Errorf("%w: header crc %08x != %08x", ErrCorrupt, got, want)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v > Version {
+		return nil, fmt.Errorf("%w: file version %d > %d", ErrVersion, v, Version)
+	}
+	flags := binary.LittleEndian.Uint16(hdr[6:8])
+	seg := &Segment{
+		Start:     time.Unix(int64(binary.LittleEndian.Uint64(hdr[8:16])), 0).UTC(),
+		Dur:       time.Duration(binary.LittleEndian.Uint64(hdr[16:24])) * time.Second,
+		Compacted: flags&SegFlagCompacted != 0,
+	}
+	var sections uint32
+	for {
+		marker, err := br.ReadByte()
+		if err != nil {
+			return seg, fmt.Errorf("%w: missing end marker: %v", ErrCorrupt, err)
+		}
+		switch marker {
+		case endMarker:
+			var end [endLen]byte
+			end[0] = endMarker
+			if _, err := io.ReadFull(br, end[1:]); err != nil {
+				return seg, fmt.Errorf("%w: short end marker: %v", ErrCorrupt, err)
+			}
+			if got, want := binary.LittleEndian.Uint32(end[5:9]), crc32.ChecksumIEEE(end[:5]); got != want {
+				return seg, fmt.Errorf("%w: end crc %08x != %08x", ErrCorrupt, got, want)
+			}
+			if got := binary.LittleEndian.Uint32(end[1:5]); got != sections {
+				return seg, fmt.Errorf("%w: end marker counts %d sections, read %d", ErrCorrupt, got, sections)
+			}
+			return seg, nil
+		case sectionMarker:
+		default:
+			return seg, fmt.Errorf("%w: unknown marker %#02x", ErrCorrupt, marker)
+		}
+		var sh [sectionHdrLen]byte
+		sh[0] = sectionMarker
+		if _, err := io.ReadFull(br, sh[1:]); err != nil {
+			return seg, fmt.Errorf("%w: short section header: %v", ErrCorrupt, err)
+		}
+		count := binary.LittleEndian.Uint32(sh[14:18])
+		payloadLen := binary.LittleEndian.Uint32(sh[18:22])
+		// Sanity before allocating, as in the snapshot reader: the encoder
+		// never produces an oversized or under-filled section, so lengths
+		// beyond these bounds are corruption, not data.
+		if payloadLen > 2*sectionMaxBytes {
+			return seg, fmt.Errorf("%w: section payload %d exceeds limit", ErrCorrupt, payloadLen)
+		}
+		if uint64(count)*rowMinBytes > uint64(payloadLen) {
+			return seg, fmt.Errorf("%w: %d rows cannot fit %d payload bytes", ErrCorrupt, count, payloadLen)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return seg, fmt.Errorf("%w: short section payload: %v", ErrCorrupt, err)
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(sh[1:22])
+		crc.Write(payload)
+		if got, want := binary.LittleEndian.Uint32(sh[22:26]), crc.Sum32(); got != want {
+			return seg, fmt.Errorf("%w: section crc %08x != %08x", ErrCorrupt, got, want)
+		}
+		rows, err := decodeRows(payload, count)
+		if err != nil {
+			return seg, err
+		}
+		seg.Windows = append(seg.Windows, rollup.Window{
+			Start: time.Unix(int64(binary.LittleEndian.Uint64(sh[2:10])), 0).UTC(),
+			Dur:   time.Duration(binary.LittleEndian.Uint32(sh[10:14])) * time.Second,
+			Rows:  rows,
+		})
+		sections++
+	}
+}
+
+// WriteSegmentFile writes seg to path atomically: a temporary file in the
+// same directory, fsynced, then renamed over path — the same discipline as
+// snapshot.WriteFile, so readers never observe a partial segment and a
+// crash mid-write leaves the previous segment intact.
+func WriteSegmentFile(path string, seg *Segment) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = EncodeSegment(f, seg); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSegmentFile decodes one segment file, honoring DecodeSegment's
+// partial-prefix contract.
+func ReadSegmentFile(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSegment(f)
+}

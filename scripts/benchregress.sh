@@ -5,8 +5,9 @@
 # Usage: scripts/benchregress.sh [base-ref]     (default: origin/main)
 #
 # Runs BenchmarkCorrelate, BenchmarkSinkWrite, BenchmarkRollupObserve,
-# BenchmarkIngestDNS, BenchmarkFlattenResponse, BenchmarkSnapshot, and
-# BenchmarkRestore on HEAD and on the base ref (in a temporary git
+# BenchmarkIngestDNS, BenchmarkFlattenResponse, BenchmarkSnapshot,
+# BenchmarkRestore, BenchmarkQueryRange, and BenchmarkCompact on HEAD and on
+# the base ref (in a temporary git
 # worktree), prints a benchstat comparison when benchstat is installed, and
 # compares per-benchmark median ns/op with a plain awk check: a benchmark
 # present in both runs that is more than TOLERANCE (default 1.20 = +20%
@@ -15,17 +16,18 @@
 # the base but MISSING from HEAD fails the script — a deleted or renamed
 # guard must be removed from BENCHES deliberately, not silently unguarded.
 #
-# The HEAD run also snapshots the fill-path medians (BenchmarkIngestDNS*,
-# BenchmarkFlattenResponse*) into BENCH_ingest.json at the repo root, so
-# the fill-path perf trajectory is tracked commit over commit; refresh the
-# checked-in snapshot when the numbers move for a reason.
+# The HEAD run also snapshots the fill-path and query-plane medians
+# (BenchmarkIngestDNS*, BenchmarkFlattenResponse*, BenchmarkQueryRange*,
+# BenchmarkCompact*) into BENCH_ingest.json at the repo root, so their perf
+# trajectory is tracked commit over commit; refresh the checked-in snapshot
+# when the numbers move for a reason.
 #
 # Tunables via environment: BENCHES, COUNT, BENCHTIME, TOLERANCE, SNAPSHOT
 # (path of the JSON snapshot; empty disables).
 set -euo pipefail
 
 BASE_REF=${1:-origin/main}
-BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$|BenchmarkSnapshot$|BenchmarkRestore$'}
+BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$|BenchmarkSnapshot$|BenchmarkRestore$|BenchmarkQueryRange$|BenchmarkCompact$'}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-300ms}
 TOLERANCE=${TOLERANCE:-1.20}
@@ -85,10 +87,12 @@ medians() {
 medians "$tmp/base.txt" | sort > "$tmp/base.med"
 medians "$tmp/head.txt" | sort > "$tmp/head.med"
 
-# Snapshot the fill-path benchmarks (median ns/op, B/op, allocs/op) from the
-# HEAD run into a JSON file tracked in the repository.
+# Snapshot the fill-path and query-plane benchmarks (median ns/op, B/op,
+# allocs/op) from the HEAD run into a JSON file tracked in the repository.
 if [ -n "$SNAPSHOT" ]; then
-    awk '/^BenchmarkIngestDNS|^BenchmarkFlattenResponse/ {
+    # Strip the -GOMAXPROCS suffix so the snapshot is machine-independent.
+    sed -E 's/^(Benchmark[^ \t]+)-[0-9]+/\1/' "$tmp/head.txt" | \
+    awk '/^BenchmarkIngestDNS|^BenchmarkFlattenResponse|^BenchmarkQueryRange|^BenchmarkCompact/ {
         name = $1
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op")     ns[name]     = ns[name] " " $(i-1)
@@ -104,7 +108,7 @@ if [ -n "$SNAPSHOT" ]; then
     END {
         for (name in ns)
             printf "%s %s %s %s\n", name, median(ns[name]), median(bop[name]), median(allocs[name])
-    }' "$tmp/head.txt" | sort | awk '
+    }' | sort | awk '
     BEGIN { printf "{\n  \"benchmarks\": {" }
     {
         if (NR > 1) printf ","
