@@ -51,6 +51,8 @@ func main() {
 		netflowListen = flag.String("netflow-listen", ":2055", "comma-separated UDP listen addresses for NetFlow/IPFIX streams")
 		out           = flag.String("out", "-", "output file for correlated flows ('-' = stdout)")
 		sinkName      = flag.String("sink", "tsv", "output sink: "+strings.Join(core.SinkNames(), ", "))
+		sinkURL       = flag.String("sink-url", "", "HTTP endpoint for -sink influx (e.g. http://influx:8086/write?db=flowdns; '' = write line protocol to -out)")
+		measurement   = flag.String("measurement", "", "Influx measurement name for -sink influx ('' = flowdns)")
 		variant       = flag.String("variant", "Main", "benchmark variant: Main, NoSplit, NoClearUp, NoRotation, NoLong, ExactTTL")
 		lanes         = flag.Int("lanes", 0, "correlation lanes (flows partitioned by dst IP; 0 = one lane per split)")
 		fillLanes     = flag.Int("fill-lanes", 0, "fill lanes (DNS records partitioned by answer IP; 0 = mirror -lanes)")
@@ -63,6 +65,10 @@ func main() {
 		skipMisses    = flag.Bool("skip-misses", false, "do not write rows for uncorrelated flows")
 		snapshotPath  = flag.String("snapshot", "", "warm-restart checkpoint file: restore on boot, checkpoint periodically and on shutdown ('' = disabled)")
 		snapshotEvery = flag.Duration("snapshot-every", core.DefaultSnapshotInterval, "checkpoint cadence when -snapshot is set")
+
+		sampleMaxShed   = flag.Float64("sample-max-shed", 0, "adaptive sampler shed ceiling in (0,1]: fraction of offered records deliberately shed (and counted) at full buffers (0 = disabled)")
+		sampleLowWater  = flag.Float64("sample-low-water", 0, "buffer fill below which the sampler sheds nothing (0 = default 0.5; requires -sample-max-shed)")
+		sampleHighWater = flag.Float64("sample-high-water", 0, "buffer fill at which the shed rate reaches -sample-max-shed (0 = default 0.9; requires -sample-max-shed)")
 
 		rollupOn     = flag.Bool("rollup", false, "enable online attribution rollups (service × origin-AS × DBL category)")
 		window       = flag.Duration("window", rollup.DefaultWindow, "rollup window rotation interval (whole seconds)")
@@ -104,6 +110,19 @@ func main() {
 		if *storeDir != "" && !*rollupOn {
 			log.Fatalf("flowdns: -store-dir requires -rollup (the store persists sealed rollup windows)")
 		}
+		// Mirror the config file's sampler and output validation.
+		if *sampleMaxShed < 0 || *sampleMaxShed > 1 {
+			log.Fatalf("flowdns: -sample-max-shed %v outside [0,1]", *sampleMaxShed)
+		}
+		if *sampleMaxShed == 0 && (*sampleLowWater != 0 || *sampleHighWater != 0) {
+			log.Fatalf("flowdns: sampler watermarks set without -sample-max-shed (sampling stays disabled)")
+		}
+		if *sampleLowWater < 0 || *sampleLowWater > 1 || *sampleHighWater < 0 || *sampleHighWater > 1 {
+			log.Fatalf("flowdns: sampler watermarks outside [0,1]")
+		}
+		if *sinkURL != "" && *sinkName != "influx" {
+			log.Fatalf("flowdns: -sink-url only applies to -sink influx (have %q)", *sinkName)
+		}
 	}
 
 	if *exampleConfig {
@@ -119,8 +138,9 @@ func main() {
 		variant: *variant, lanes: *lanes, fillLanes: *fillLanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
 		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery,
 		snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvery,
+		sampleLowWater: *sampleLowWater, sampleHighWater: *sampleHighWater, sampleMaxShed: *sampleMaxShed,
 		dnsListen: dnsListen, netflowListen: netflowListen,
-		out: *out, sink: *sinkName, skipMisses: *skipMisses,
+		out: *out, sink: *sinkName, sinkURL: *sinkURL, measurement: *measurement, skipMisses: *skipMisses,
 		rollup: config.RollupConfig{
 			Enabled: *rollupOn, WindowSeconds: windowSeconds(*window),
 			Path: *rollupOut, Format: *rollupFormat, HTTP: *rollupHTTP,
@@ -178,6 +198,7 @@ func main() {
 	// the engine handle stays local for the /rollups snapshot endpoint, and
 	// sealed windows fan into the store.
 	var engine *rollup.Rollup
+	var reload func() error
 	if rcfg.Enabled {
 		var onSeal func([]rollup.Window)
 		if store != nil {
@@ -190,11 +211,27 @@ func main() {
 			}
 		}
 		var closeRollup func()
-		engine, sink, closeRollup, err = buildRollup(rcfg, sink, outputs, onSeal)
+		engine, sink, closeRollup, reload, err = buildRollup(rcfg, sink, outputs, onSeal)
 		if err != nil {
 			log.Fatalf("flowdns: %v", err)
 		}
 		defer closeRollup()
+	}
+
+	// Hot reload of the attribution tables: SIGHUP and POST /admin/reload
+	// share the same swap path, so either trigger refreshes the BGP table
+	// and blocklist without restarting (or even pausing) the pipeline.
+	if reload != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := reload(); err != nil {
+					log.Printf("flowdns: SIGHUP reload failed (tables unchanged): %v", err)
+				}
+			}
+		}()
+		log.Printf("flowdns: attribution tables hot-reloadable (SIGHUP or POST /admin/reload)")
 	}
 
 	// Query plane: /query/*, /metrics, and /rollups share one mux. It is
@@ -202,13 +239,17 @@ func main() {
 	// and on the legacy -rollup-http address for /rollups compatibility.
 	var qsrv *queryapi.Server
 	if cfg.QueryAddr != "" {
-		qsrv, err = queryapi.New(store,
+		qopts := []queryapi.Option{
 			queryapi.WithAddr(cfg.QueryAddr),
 			queryapi.WithRollups(engine),
 			queryapi.WithDraining(draining),
 			queryapi.WithPipelineStats(pipelineStats),
 			queryapi.WithCache(qcfg.CacheEntries),
-		)
+		}
+		if reload != nil {
+			qopts = append(qopts, queryapi.WithReload(reload))
+		}
+		qsrv, err = queryapi.New(store, qopts...)
 		if err != nil {
 			log.Fatalf("flowdns: %v", err)
 		}
@@ -299,8 +340,12 @@ type configFlags struct {
 	flushEvery               time.Duration
 	snapshotPath             string
 	snapshotEvery            time.Duration
+	sampleLowWater           float64
+	sampleHighWater          float64
+	sampleMaxShed            float64
 	dnsListen, netflowListen *string
 	out, sink                string
+	sinkURL, measurement     string
 	skipMisses               bool
 	rollup                   config.RollupConfig
 	query                    config.QueryConfig
@@ -320,11 +365,15 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 		cfg.WriteFlushInterval = f.flushEvery
 		cfg.SnapshotPath = f.snapshotPath
 		cfg.SnapshotEvery = f.snapshotEvery
+		cfg.SampleLowWater = f.sampleLowWater
+		cfg.SampleHighWater = f.sampleHighWater
+		cfg.SampleMaxShed = f.sampleMaxShed
 		cfg.QueryAddr = f.query.Listen
 		cfg.StoreDir = f.query.StoreDir
 		cfg.Retention = time.Duration(f.query.RetentionSeconds) * time.Second
 		cfg.CompactAfter = time.Duration(f.query.CompactAfterSeconds) * time.Second
-		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses}}, f.rollup, f.query
+		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses,
+			URL: f.sinkURL, Measurement: f.measurement}}, f.rollup, f.query
 	}
 	file, err := config.Load(path)
 	if err != nil {
@@ -366,32 +415,72 @@ func windowSeconds(d time.Duration) int {
 // buildRollup constructs the attribution rollup engine and its sink, and
 // stacks the sink on top of base through the multi-sink. The returned
 // cleanup closes the export file after the pipeline has drained.
-func buildRollup(rc config.RollupConfig, base core.Sink, outputs []config.OutputConfig, onSeal func([]rollup.Window)) (*rollup.Rollup, core.Sink, func(), error) {
+//
+// Attribution tables go through hot handles: the returned reload function
+// (nil when neither table nor blocklist is configured) re-reads the
+// configured files and atomically swaps them in, without stopping the
+// pipeline — batches in flight finish against the table they started with,
+// the next batch sees the new one, and no lookup is ever dropped. It serves
+// both SIGHUP and POST /admin/reload.
+func buildRollup(rc config.RollupConfig, base core.Sink, outputs []config.OutputConfig, onSeal func([]rollup.Window)) (*rollup.Rollup, core.Sink, func(), func() error, error) {
 	format, err := rollup.ParseFormat(rc.Format)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	engine := rollup.New(rc.Window(), rc.Shards)
 	opts := []rollup.SinkOption{rollup.WithRotation(rc.Window())}
 	if onSeal != nil {
 		opts = append(opts, rollup.WithOnSeal(onSeal))
 	}
+	var hotTable *bgp.Hot
 	if rc.BGPTable != "" {
 		table, err := bgp.LoadTable(rc.BGPTable)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		table.Freeze() // build-then-read: the sink's Write workers only read
-		opts = append(opts, rollup.WithTable(table))
+		hotTable = bgp.NewHot(table) // freezes: the sink's Write workers only read
+		opts = append(opts, rollup.WithHotTable(hotTable))
 		log.Printf("flowdns: rollup: %d BGP prefixes loaded from %s", table.Len(), rc.BGPTable)
 	}
+	var hotList *dbl.Hot
 	if rc.Blocklist != "" {
 		list, err := dbl.LoadList(rc.Blocklist)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		opts = append(opts, rollup.WithBlocklist(list))
+		hotList = dbl.NewHot(list)
+		opts = append(opts, rollup.WithHotBlocklist(hotList))
 		log.Printf("flowdns: rollup: %d blocklisted domains loaded from %s", list.Len(), rc.Blocklist)
+	}
+	var reload func() error
+	if hotTable != nil || hotList != nil {
+		reload = func() error {
+			// Load everything before swapping anything: a reload that fails
+			// halfway must leave both tables as they were, not half-new.
+			var table *bgp.Table
+			var list *dbl.List
+			if hotTable != nil {
+				var err error
+				if table, err = bgp.LoadTable(rc.BGPTable); err != nil {
+					return fmt.Errorf("bgp table %s: %w", rc.BGPTable, err)
+				}
+			}
+			if hotList != nil {
+				var err error
+				if list, err = dbl.LoadList(rc.Blocklist); err != nil {
+					return fmt.Errorf("blocklist %s: %w", rc.Blocklist, err)
+				}
+			}
+			if table != nil {
+				hotTable.Swap(table)
+				log.Printf("flowdns: reloaded %d BGP prefixes from %s", table.Len(), rc.BGPTable)
+			}
+			if list != nil {
+				hotList.Swap(list)
+				log.Printf("flowdns: reloaded %d blocklisted domains from %s", list.Len(), rc.Blocklist)
+			}
+			return nil
+		}
 	}
 	cleanup := func() {}
 	switch rc.Path {
@@ -402,28 +491,28 @@ func buildRollup(rc config.RollupConfig, base core.Sink, outputs []config.Output
 		// on stdout would interleave rows mid-line.
 		for _, o := range outputs {
 			if o.NeedsWriter() && (o.Path == "" || o.Path == "-") {
-				return nil, nil, nil, errors.New("rollup export and an output sink both write to stdout")
+				return nil, nil, nil, nil, errors.New("rollup export and an output sink both write to stdout")
 			}
 		}
 		opts = append(opts, rollup.WithExport(os.Stdout, format))
 	default:
 		for _, o := range outputs {
 			if o.Path == rc.Path {
-				return nil, nil, nil, fmt.Errorf("rollup export path %q already used by an output sink", rc.Path)
+				return nil, nil, nil, nil, fmt.Errorf("rollup export path %q already used by an output sink", rc.Path)
 			}
 		}
 		f, err := os.Create(rc.Path)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		cleanup = func() { f.Close() }
 		opts = append(opts, rollup.WithExport(f, format))
 	}
 	rsink := rollup.NewSink(engine, opts...)
 	if ms, ok := base.(core.MultiSink); ok {
-		return engine, append(ms, rsink), cleanup, nil
+		return engine, append(ms, rsink), cleanup, reload, nil
 	}
-	return engine, core.MultiSink{base, rsink}, cleanup, nil
+	return engine, core.MultiSink{base, rsink}, cleanup, reload, nil
 }
 
 // buildSink constructs the configured sink(s); several outputs fan out

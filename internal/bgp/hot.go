@@ -1,0 +1,53 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync/atomic"
+)
+
+// Hot is a hot-swappable handle to a frozen Table. The Freeze/ErrFrozen
+// build-then-read contract makes one Table immutable forever — perfect for
+// lock-free concurrent readers, useless for a long-running deployment whose
+// routing table goes stale. Hot layers reloadability on top without
+// touching that contract: readers Load the current frozen table (one atomic
+// pointer read, no locks), and a reload builds a complete replacement off
+// to the side and Swaps it in. A lookup that raced the swap simply used
+// whichever complete table it loaded first — there is never a moment when
+// readers can observe a partially built table, so a swap drops zero
+// lookups.
+type Hot struct {
+	p atomic.Pointer[Table]
+}
+
+// NewHot returns a handle serving t, freezing it first (a table shared with
+// readers must never accept another Insert). A nil t is replaced by an
+// empty table, so a Hot is always safe to read.
+func NewHot(t *Table) *Hot {
+	h := &Hot{}
+	h.Swap(t)
+	return h
+}
+
+// Load returns the current frozen table. The result is immutable and safe
+// to use for any number of lookups; batch consumers should Load once per
+// batch so every record in the batch is attributed against one consistent
+// table.
+func (h *Hot) Load() *Table { return h.p.Load() }
+
+// Swap publishes t as the current table (freezing it first; nil means an
+// empty table) and returns the previous one. Concurrent readers switch
+// atomically from old to new; in-flight lookups on the old table finish
+// against it unharmed.
+func (h *Hot) Swap(t *Table) *Table {
+	if t == nil {
+		t = NewTable()
+	}
+	t.Freeze()
+	return h.p.Swap(t)
+}
+
+// Lookup resolves addr against the current table.
+func (h *Hot) Lookup(addr netip.Addr) (uint32, bool) { return h.Load().Lookup(addr) }
+
+// Len returns the size of the current table.
+func (h *Hot) Len() int { return h.Load().Len() }

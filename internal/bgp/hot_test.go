@@ -1,0 +1,93 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func hotTable(t *testing.T, asn uint32) *Table {
+	t.Helper()
+	tb := NewTable()
+	if err := tb.Insert(netip.MustParsePrefix("10.0.0.0/8"), asn); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestHotFreezesOnSwap(t *testing.T) {
+	tb := hotTable(t, 64500)
+	h := NewHot(tb)
+	if !tb.Frozen() {
+		t.Fatal("NewHot did not freeze the table")
+	}
+	if got := tb.Insert(netip.MustParsePrefix("10.1.0.0/16"), 1); got != ErrFrozen {
+		t.Fatalf("Insert after NewHot = %v, want ErrFrozen", got)
+	}
+	old := h.Swap(hotTable(t, 64501))
+	if old != tb {
+		t.Fatal("Swap did not return the previous table")
+	}
+	if asn, ok := h.Lookup(netip.MustParseAddr("10.2.3.4")); !ok || asn != 64501 {
+		t.Fatalf("post-swap Lookup = %d,%v; want 64501,true", asn, ok)
+	}
+}
+
+func TestHotNilIsEmpty(t *testing.T) {
+	h := NewHot(nil)
+	if h.Len() != 0 {
+		t.Fatalf("NewHot(nil).Len() = %d", h.Len())
+	}
+	if _, ok := h.Lookup(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("empty hot table matched an address")
+	}
+	h.Swap(nil)
+	if _, ok := h.Lookup(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("Swap(nil) table matched an address")
+	}
+}
+
+// Zero dropped lookups during a swap: every concurrent lookup must resolve
+// against either the old or the new table — never miss, never a partial
+// result — while swaps churn underneath.
+func TestHotSwapUnderLoad(t *testing.T) {
+	h := NewHot(hotTable(t, 1))
+	addr := netip.MustParseAddr("10.9.9.9")
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const readers = 8
+	wg.Add(readers)
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				asn, ok := h.Lookup(addr)
+				if !ok {
+					errs <- "lookup missed during swap"
+					return
+				}
+				if asn == 0 {
+					errs <- "lookup returned zero ASN"
+					return
+				}
+			}
+		}()
+	}
+
+	for gen := uint32(2); gen < 300; gen++ {
+		old := h.Swap(hotTable(t, gen))
+		if !old.Frozen() {
+			t.Error("previous table was not frozen")
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -17,6 +17,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rollup"
+
+	// Register the "influx" sink so config validation and the daemon both
+	// see it in the registry.
+	_ "repro/internal/influxsink"
 )
 
 // File is the top-level configuration document.
@@ -58,23 +62,37 @@ type OutputConfig struct {
 	// Path is the output file; "-" or "" means stdout.
 	Path string `json:"path"`
 	// Sink names the registered sink backend: "tsv" (default), "json",
-	// "counting", or "discard". See core.SinkNames.
+	// "influx", "counting", or "discard". See core.SinkNames.
 	Sink string `json:"sink"`
 	// SkipMisses drops uncorrelated rows.
 	SkipMisses bool `json:"skip_misses"`
+	// URL is the write endpoint of network-backed sinks; the "influx" sink
+	// POSTs line-protocol batches there instead of writing to Path (e.g.
+	// "http://localhost:8086/write?db=flowdns").
+	URL string `json:"url,omitempty"`
+	// Measurement names the influx measurement ("" = "flowdns").
+	Measurement string `json:"measurement,omitempty"`
 }
 
 // NewSink builds the configured sink over w (ignored by writer-less sinks
-// such as "counting" and "discard").
+// such as "counting" and "discard", and by "influx" in URL mode).
 func (o OutputConfig) NewSink(w io.Writer) (core.Sink, error) {
-	return core.NewSinkByName(o.Sink, core.SinkOptions{W: w, SkipMisses: o.SkipMisses})
+	return core.NewSinkByName(o.Sink, core.SinkOptions{
+		W: w, SkipMisses: o.SkipMisses, URL: o.URL, Measurement: o.Measurement,
+	})
 }
 
 // NeedsWriter reports whether the configured sink writes records to an
 // output stream ("" means the tsv default), per the sink registry's own
 // metadata. Writer-less sinks (counting, discard) must not be given a
-// Path — the file would be created and left empty.
-func (o OutputConfig) NeedsWriter() bool { return core.SinkNeedsWriter(o.Sink) }
+// Path — the file would be created and left empty. An "influx" output with
+// a URL ships over HTTP, so it takes no writer either.
+func (o OutputConfig) NeedsWriter() bool {
+	if o.URL != "" {
+		return false
+	}
+	return core.SinkNeedsWriter(o.Sink)
+}
 
 // RollupConfig configures the streaming attribution-rollup sink, which
 // stacks on top of the configured outputs through the multi-sink.
@@ -156,6 +174,16 @@ type CorrelatorConfig struct {
 	// shutdown. Empty disables checkpointing.
 	SnapshotPath         string `json:"snapshot_path"`
 	SnapshotEverySeconds int    `json:"snapshot_every_seconds"`
+
+	// SampleMaxShed > 0 enables adaptive overload shedding on every stage
+	// queue: once a queue passes SampleLowWater fill the sampler sheds a
+	// fraction of offered records ramping linearly to SampleMaxShed at
+	// SampleHighWater. Shed records are counted (Sampled in /metrics and
+	// /query/health), never silent. Watermarks default to 0.5 / 0.9 when
+	// only the shed ceiling is given.
+	SampleLowWater  float64 `json:"sample_low_water"`
+	SampleHighWater float64 `json:"sample_high_water"`
+	SampleMaxShed   float64 `json:"sample_max_shed"`
 }
 
 // validFormats per stream family.
@@ -211,6 +239,9 @@ func Parse(data []byte) (*File, error) {
 		}
 		if o.Sink != "" && !slices.Contains(registered, o.Sink) {
 			return nil, fmt.Errorf("config: %s: unknown sink %q (have %v)", field, o.Sink, registered)
+		}
+		if o.URL != "" && o.Sink != "influx" {
+			return nil, fmt.Errorf("config: %s: url is only supported by the \"influx\" sink, not %q", field, o.Sink)
 		}
 		if !o.NeedsWriter() && o.Path != "" && o.Path != "-" {
 			return nil, fmt.Errorf("config: %s: sink %q does not write to a file; remove path %q", field, o.Sink, o.Path)
@@ -329,6 +360,19 @@ func (f *File) CoreConfig() (core.Config, error) {
 	if cc.SnapshotEverySeconds > 0 {
 		cfg.SnapshotEvery = time.Duration(cc.SnapshotEverySeconds) * time.Second
 	}
+	if cc.SampleMaxShed < 0 || cc.SampleMaxShed > 1 {
+		return core.Config{}, fmt.Errorf("config: sample_max_shed %v outside [0,1]", cc.SampleMaxShed)
+	}
+	if cc.SampleLowWater < 0 || cc.SampleLowWater > 1 ||
+		cc.SampleHighWater < 0 || cc.SampleHighWater > 1 {
+		return core.Config{}, fmt.Errorf("config: sampler watermarks must lie in [0,1]")
+	}
+	if cc.SampleMaxShed == 0 && (cc.SampleLowWater != 0 || cc.SampleHighWater != 0) {
+		return core.Config{}, fmt.Errorf("config: sampler watermarks set without sample_max_shed")
+	}
+	cfg.SampleLowWater = cc.SampleLowWater
+	cfg.SampleHighWater = cc.SampleHighWater
+	cfg.SampleMaxShed = cc.SampleMaxShed
 	cfg.QueryAddr = f.Query.Listen
 	cfg.StoreDir = f.Query.StoreDir
 	if f.Query.RetentionSeconds > 0 {

@@ -35,6 +35,13 @@ const (
 	// the checkpoint cost (one lock-striped store scan plus a sequential
 	// file write) stays negligible at that rate.
 	DefaultSnapshotInterval = 5 * time.Minute
+	// DefaultSampleLowWater / DefaultSampleHighWater are the watermark
+	// defaults applied when sampling is enabled (SampleMaxShed > 0) without
+	// explicit watermarks: shedding starts at half-full buffers and reaches
+	// the configured ceiling at 90 % fill, leaving the last tenth of the
+	// buffer to absorb bursts while the sampler is already braking.
+	DefaultSampleLowWater  = 0.5
+	DefaultSampleHighWater = 0.9
 )
 
 // LookupKey selects which flow address the LookUp workers resolve. The
@@ -127,6 +134,20 @@ type Config struct {
 	FillQueueCap  int
 	LookQueueCap  int
 	WriteQueueCap int
+
+	// Adaptive overload shedding (the production inverse of the paper's
+	// "keep the buffer usage stable to avoid any loss" goal: when loss is
+	// unavoidable, make it deliberate, smooth, and accounted). When
+	// SampleMaxShed > 0 every stage queue gets a sampler that starts
+	// shedding offered records once its buffer passes SampleLowWater fill,
+	// ramping linearly to the SampleMaxShed fraction at SampleHighWater.
+	// Shed records are counted in the queues' Stats.Sampled — never
+	// silently lost — and surface in Stats.LossRate, /metrics, and
+	// /query/health. SampleMaxShed == 0 (the default) disables sampling and
+	// keeps the historical drop-on-overflow behaviour.
+	SampleLowWater  float64
+	SampleHighWater float64
+	SampleMaxShed   float64
 
 	// WriteBatchSize bounds how many correlated flows a Write worker hands
 	// to the sink per WriteBatch call.
@@ -277,6 +298,20 @@ func (c Config) normalized() Config {
 	}
 	if c.ExactTTLSweepInterval <= 0 {
 		c.ExactTTLSweepInterval = d.ExactTTLSweepInterval
+	}
+	if c.SampleMaxShed > 0 {
+		if c.SampleMaxShed > 1 {
+			c.SampleMaxShed = 1
+		}
+		if c.SampleLowWater <= 0 {
+			c.SampleLowWater = DefaultSampleLowWater
+		}
+		if c.SampleHighWater <= 0 {
+			c.SampleHighWater = DefaultSampleHighWater
+		}
+		if c.SampleHighWater > 1 {
+			c.SampleHighWater = 1
+		}
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = DefaultSnapshotInterval

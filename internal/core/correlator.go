@@ -221,6 +221,15 @@ func New(cfg Config, opts ...Option) *Correlator {
 		sinkFailed: make(chan struct{}),
 		draining:   make(chan struct{}),
 	}
+	// sampler is shared by every stage queue: each lane queue measures its
+	// own fill against the same watermarks, so a single hot lane starts
+	// shedding without waiting for the whole stage to drown.
+	sampler := queue.SamplerConfig{
+		LowWater:  cfg.SampleLowWater,
+		HighWater: cfg.SampleHighWater,
+		MaxShed:   cfg.SampleMaxShed,
+	}
+	c.writeQ.SetSampler(sampler)
 	// FillQueueCap is the total fill buffer, divided evenly across fill
 	// lanes (same contract as LookQueueCap below).
 	perFillCap := cfg.FillQueueCap / cfg.FillLanes
@@ -232,6 +241,7 @@ func New(cfg Config, opts ...Option) *Correlator {
 			q:  queue.New[stream.DNSRecord](perFillCap),
 			in: newInterner(defaultInternCap),
 		}
+		c.fillLanes[i].q.SetSampler(sampler)
 	}
 	// LookQueueCap is the total lookup buffer, divided evenly across
 	// lanes, so the stage's memory footprint and the configured loss
@@ -244,6 +254,7 @@ func New(cfg Config, opts ...Option) *Correlator {
 	}
 	for i := range c.lanes {
 		c.lanes[i] = &corrLane{q: queue.New[flowEntry](perLaneCap)}
+		c.lanes[i].q.SetSampler(sampler)
 	}
 	laneCount := len(c.lanes)
 	c.stagePool.New = func() any {

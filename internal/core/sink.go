@@ -315,6 +315,13 @@ type SinkOptions struct {
 	SkipMisses bool
 	// Children are the fan-out targets of the "multi" sink.
 	Children []Sink
+	// URL is the remote endpoint of network-backed sinks (the "influx"
+	// sink POSTs line-protocol batches there); sinks that write to W
+	// ignore it.
+	URL string
+	// Measurement names the time-series measurement for sinks that need
+	// one ("" = the sink's default).
+	Measurement string
 }
 
 // SinkFactory builds a sink from options.

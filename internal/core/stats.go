@@ -174,15 +174,28 @@ func (s Stats) CorrelationRateFlows() float64 {
 	return float64(s.Correlated) / float64(s.Flows)
 }
 
-// LossRate aggregates drop rates across the three stage queues — "loss on
-// the streams" in the paper's terminology.
+// LossRate aggregates loss across the three stage queues — "loss on the
+// streams" in the paper's terminology. It counts both accidental overflow
+// (Dropped) and deliberate adaptive shed (Sampled): a record the operator
+// chose to sacrifice is still a record the rollups never saw.
 func (s Stats) LossRate() float64 {
 	offered := s.FillQueue.Offered() + s.LookQueue.Offered() + s.WriteQueue.Offered()
 	if offered == 0 {
 		return 0
 	}
-	dropped := s.FillQueue.Dropped + s.LookQueue.Dropped + s.WriteQueue.Dropped
-	return float64(dropped) / float64(offered)
+	lost := s.FillQueue.Lost() + s.LookQueue.Lost() + s.WriteQueue.Lost()
+	return float64(lost) / float64(offered)
+}
+
+// SampledRate is the deliberate-shed share alone: Sampled over Offered
+// across the stage queues. LossRate − SampledRate is the accidental part.
+func (s Stats) SampledRate() float64 {
+	offered := s.FillQueue.Offered() + s.LookQueue.Offered() + s.WriteQueue.Offered()
+	if offered == 0 {
+		return 0
+	}
+	sampled := s.FillQueue.Sampled + s.LookQueue.Sampled + s.WriteQueue.Sampled
+	return float64(sampled) / float64(offered)
 }
 
 // Stats snapshots the correlator's counters.
@@ -218,12 +231,14 @@ func (c *Correlator) Stats() Stats {
 		fs := l.q.Stats()
 		st.FillQueue.Enqueued += fs.Enqueued
 		st.FillQueue.Dropped += fs.Dropped
+		st.FillQueue.Sampled += fs.Sampled
 		st.FillQueue.Dequeued += fs.Dequeued
 	}
 	for _, l := range c.lanes {
 		ls := l.q.Stats()
 		st.LookQueue.Enqueued += ls.Enqueued
 		st.LookQueue.Dropped += ls.Dropped
+		st.LookQueue.Sampled += ls.Sampled
 		st.LookQueue.Dequeued += ls.Dequeued
 	}
 	for i := range st.ChainHist {

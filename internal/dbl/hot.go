@@ -1,0 +1,42 @@
+package dbl
+
+import "sync/atomic"
+
+// Hot is a hot-swappable handle to a List, mirroring bgp.Hot: readers Load
+// the current list with one atomic pointer read, and a reload builds a
+// complete replacement from the blocklist file and Swaps it in. A List is
+// internally safe for concurrent use, but swapping whole lists keeps a
+// reload atomic — readers never observe a half-applied update where some
+// domains carry the old category and some the new — and keeps the reload
+// path identical to the BGP table's.
+type Hot struct {
+	p atomic.Pointer[List]
+}
+
+// NewHot returns a handle serving l; nil means an empty list, so a Hot is
+// always safe to read.
+func NewHot(l *List) *Hot {
+	h := &Hot{}
+	h.Swap(l)
+	return h
+}
+
+// Load returns the current list. Batch consumers should Load once per batch
+// so every record in the batch is classified against one consistent list.
+func (h *Hot) Load() *List { return h.p.Load() }
+
+// Swap publishes l as the current list (nil means an empty list) and
+// returns the previous one. In-flight lookups on the old list finish
+// against it unharmed.
+func (h *Hot) Swap(l *List) *List {
+	if l == nil {
+		l = NewList()
+	}
+	return h.p.Swap(l)
+}
+
+// Lookup classifies domain against the current list.
+func (h *Hot) Lookup(domain string) Category { return h.Load().Lookup(domain) }
+
+// Len returns the size of the current list.
+func (h *Hot) Len() int { return h.Load().Len() }

@@ -1,0 +1,74 @@
+package dbl
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHotSwapAtomicity(t *testing.T) {
+	a := NewList()
+	a.Add("bad.example", Spam)
+	h := NewHot(a)
+	if got := h.Lookup("x.bad.example"); got != Spam {
+		t.Fatalf("Lookup = %v, want Spam", got)
+	}
+	b := NewList()
+	b.Add("bad.example", Malware)
+	if old := h.Swap(b); old != a {
+		t.Fatal("Swap did not return the previous list")
+	}
+	if got := h.Lookup("x.bad.example"); got != Malware {
+		t.Fatalf("post-swap Lookup = %v, want Malware", got)
+	}
+}
+
+func TestHotNilIsEmpty(t *testing.T) {
+	h := NewHot(nil)
+	if h.Len() != 0 || h.Lookup("bad.example") != Benign {
+		t.Fatal("NewHot(nil) is not an empty benign list")
+	}
+	h.Swap(nil)
+	if h.Lookup("bad.example") != Benign {
+		t.Fatal("Swap(nil) is not an empty benign list")
+	}
+}
+
+// A reload swaps whole lists, so concurrent readers must always see one
+// coherent classification — a domain listed in every generation never reads
+// Benign mid-swap.
+func TestHotSwapUnderLoad(t *testing.T) {
+	mk := func(c Category) *List {
+		l := NewList()
+		l.Add("bad.example", c)
+		return l
+	}
+	h := NewHot(mk(Spam))
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const readers = 8
+	wg.Add(readers)
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if c := h.Lookup("sub.bad.example"); c == Benign {
+					errs <- "listed domain read Benign during swap"
+					return
+				}
+			}
+		}()
+	}
+	cats := []Category{Spam, Botnet, Malware, Phish, AbusedRedirector}
+	for i := 0; i < 300; i++ {
+		h.Swap(mk(cats[i%len(cats)]))
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

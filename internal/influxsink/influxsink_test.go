@@ -1,0 +1,300 @@
+package influxsink
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netflow"
+)
+
+var t0 = time.Unix(1700000000, 0).UTC()
+
+func testFlow(name string, bytes, packets uint64) core.CorrelatedFlow {
+	return core.CorrelatedFlow{
+		Flow: netflow.FlowRecord{
+			Timestamp: t0,
+			SrcIP:     netip.MustParseAddr("198.51.100.7"),
+			DstIP:     netip.MustParseAddr("10.0.0.1"),
+			SrcPort:   443, DstPort: 50000, Proto: netflow.ProtoTCP,
+			Bytes: bytes, Packets: packets,
+		},
+		Name: name,
+	}
+}
+
+func TestAppendPointGolden(t *testing.T) {
+	cf := testFlow("svc.example", 1200, 10)
+	cf.Tier = core.TierActive
+	cf.ChainLen = 2
+	got := string(AppendPoint(nil, "flowdns", &cf))
+	want := `flowdns,service=svc.example,tier=active src="198.51.100.7",dst="10.0.0.1",bytes=1200i,packets=10i,chain=2i 1700000000000000000` + "\n"
+	if got != want {
+		t.Fatalf("point:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestAppendPointMissHasNoServiceTag(t *testing.T) {
+	cf := testFlow("", 10, 1)
+	got := string(AppendPoint(nil, "flowdns", &cf))
+	if strings.Contains(got, "service=") {
+		t.Fatalf("miss carries a service tag: %q", got)
+	}
+	if !strings.HasPrefix(got, "flowdns src=") {
+		t.Fatalf("unexpected miss encoding: %q", got)
+	}
+}
+
+func TestAppendPointEscapesTags(t *testing.T) {
+	cf := testFlow("we ird,name=x", 1, 1)
+	got := string(AppendPoint(nil, "my measure", &cf))
+	if !strings.HasPrefix(got, `my\ measure,service=we\ ird\,name\=x `) {
+		t.Fatalf("escaping wrong: %q", got)
+	}
+}
+
+func TestWriterModeSizeBound(t *testing.T) {
+	var out bytes.Buffer
+	s, err := New(Config{W: &out, MaxBatchBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []core.CorrelatedFlow{testFlow("svc.example", 1, 1)}
+	if err := s.WriteBatch(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("shipped below the size bound")
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.WriteBatch(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.Len() == 0 {
+		t.Fatal("size bound never shipped")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(out.String(), "\n")
+	if lines != 6 {
+		t.Fatalf("lines = %d, want 6", lines)
+	}
+	if st := s.SinkStats(); st.Points != 6 || st.Sends == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFlushIsTimeBounded(t *testing.T) {
+	var out bytes.Buffer
+	s, err := New(Config{W: &out, FlushInterval: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := t0
+	s.now = func() time.Time { return clock }
+	// Establish a lastShip so the interval gate has a reference point.
+	s.WriteBatch(context.Background(), []core.CorrelatedFlow{testFlow("a", 1, 1)})
+	s.Close()
+	out.Reset()
+
+	s.WriteBatch(context.Background(), []core.CorrelatedFlow{testFlow("b", 1, 1)})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("Flush shipped before the interval elapsed")
+	}
+	clock = clock.Add(2 * time.Minute)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("Flush did not ship after the interval elapsed")
+	}
+}
+
+// failingWriter fails its first n writes.
+type failingWriter struct {
+	fails int
+	buf   bytes.Buffer
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.fails > 0 {
+		w.fails--
+		return 0, errors.New("endpoint down")
+	}
+	return w.buf.Write(p)
+}
+
+func TestRetryBackoffThenSuccess(t *testing.T) {
+	w := &failingWriter{fails: 2}
+	s, err := New(Config{W: w, MaxBatchBytes: 1, MaxRetries: 3, RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	s.sleep = func(d time.Duration) { slept = append(slept, d) }
+	if err := s.WriteBatch(context.Background(), []core.CorrelatedFlow{testFlow("svc", 1, 1)}); err != nil {
+		t.Fatalf("WriteBatch should succeed after retries: %v", err)
+	}
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Fatalf("backoff sleeps = %v, want [10ms 20ms]", slept)
+	}
+	if st := s.SinkStats(); st.Retries != 2 || st.Sends != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if w.buf.Len() == 0 {
+		t.Fatal("nothing written after recovery")
+	}
+}
+
+func TestRetryExhaustionKeepsBuffer(t *testing.T) {
+	w := &failingWriter{fails: 100}
+	s, err := New(Config{W: w, FlushInterval: -1, MaxRetries: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sleep = func(time.Duration) {}
+	if err := s.WriteBatch(context.Background(), []core.CorrelatedFlow{testFlow("svc", 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush succeeded with the endpoint down")
+	}
+	// Recovery: the buffered line must ship on the next attempt, not be lost.
+	w.fails = 0
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(w.buf.String(), "\n"); got != 1 {
+		t.Fatalf("recovered lines = %d, want 1", got)
+	}
+	if st := s.SinkStats(); st.DroppedBytes != 0 {
+		t.Fatalf("dropped %d bytes with buffer under the bound", st.DroppedBytes)
+	}
+}
+
+func TestBufferBoundDropsOldest(t *testing.T) {
+	w := &failingWriter{fails: 1 << 30}
+	s, err := New(Config{W: w, MaxBatchBytes: 64, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sleep = func(time.Duration) {}
+	for i := 0; i < 100; i++ {
+		s.WriteBatch(context.Background(), []core.CorrelatedFlow{testFlow("svc.example", uint64(i), 1)})
+	}
+	st := s.SinkStats()
+	if st.DroppedBytes == 0 {
+		t.Fatal("unbounded buffer: nothing dropped with the endpoint down")
+	}
+	s.mu.Lock()
+	buffered := len(s.buf)
+	startsClean := buffered == 0 || bytes.HasPrefix(s.buf, []byte("flowdns"))
+	s.mu.Unlock()
+	if buffered > 64*maxBufferedFactor+1024 {
+		t.Fatalf("buffer grew past the bound: %d bytes", buffered)
+	}
+	if !startsClean {
+		t.Fatal("buffer does not start at a line boundary after dropping")
+	}
+}
+
+func TestHTTPMode(t *testing.T) {
+	var gotBody atomic.Pointer[string]
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b bytes.Buffer
+		b.ReadFrom(r.Body)
+		body := b.String()
+		gotBody.Store(&body)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	s, err := New(Config{URL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBatch(context.Background(), []core.CorrelatedFlow{testFlow("svc.example", 9, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	body := gotBody.Load()
+	if body == nil || !strings.Contains(*body, "service=svc.example") {
+		t.Fatalf("endpoint got %v", body)
+	}
+}
+
+func TestHTTPErrorStatusFails(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	s, err := New(Config{URL: srv.URL, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WriteBatch(context.Background(), []core.CorrelatedFlow{testFlow("svc", 1, 1)})
+	if err := s.Close(); err == nil {
+		t.Fatal("Close succeeded against a 400 endpoint")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted neither W nor URL")
+	}
+	if _, err := New(Config{W: &bytes.Buffer{}, URL: "http://x"}); err == nil {
+		t.Fatal("New accepted both W and URL")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var out bytes.Buffer
+	s, err := core.NewSinkByName("influx", core.SinkOptions{W: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBatch(context.Background(), []core.CorrelatedFlow{testFlow("svc.example", 5, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "flowdns,service=svc.example") {
+		t.Fatalf("registry sink wrote %q", out.String())
+	}
+	if _, err := core.NewSinkByName("influx", core.SinkOptions{}); err == nil {
+		t.Fatal("registry built an influx sink with no destination")
+	}
+}
+
+func TestSkipMisses(t *testing.T) {
+	var out bytes.Buffer
+	s, err := New(Config{W: &out, SkipMisses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WriteBatch(context.Background(), []core.CorrelatedFlow{
+		testFlow("", 1, 1),
+		testFlow("svc.example", 2, 1),
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 1 {
+		t.Fatalf("lines = %d, want 1 (miss skipped)", got)
+	}
+}

@@ -7,9 +7,10 @@
 //	/query/services    per-service time series over [from, to)
 //	/query/asns        per-AS time series
 //	/query/categories  per-DBL-category time series
-//	/query/health      store coverage + cache counters
+//	/query/health      store coverage + cache counters + pipeline loss accounting
 //	/metrics           pipeline + store stats, Prometheus text format
 //	/rollups           live (unsealed) windows, when a rollup engine is attached
+//	/admin/reload      POST: hot-swap the BGP/DBL attribution tables, when wired
 //
 // The range endpoints share parameters: from / to (unix seconds or
 // RFC 3339), step (Go duration or seconds; 0 = one bucket for the whole
@@ -54,6 +55,7 @@ type Server struct {
 	roll     *rollup.Rollup
 	draining func() bool
 	pipeline func() core.Stats
+	reload   func() error
 	cache    *cache
 	mux      *http.ServeMux
 }
@@ -80,6 +82,11 @@ func WithPipelineStats(fn func() core.Stats) Option { return func(s *Server) { s
 // WithCache overrides the materialized-result cache size (entries).
 func WithCache(entries int) Option { return func(s *Server) { s.cache = newCache(entries) } }
 
+// WithReload mounts POST /admin/reload, invoking fn — the daemon's
+// attribution-table reload (BGP table + DBL list atomic swap). The same fn
+// serves SIGHUP, so both triggers share one code path.
+func WithReload(fn func() error) Option { return func(s *Server) { s.reload = fn } }
+
 // New builds a Server over the store and registers its cache on the store's
 // invalidation feed.
 func New(store *winstore.Store, opts ...Option) (*Server, error) {
@@ -104,7 +111,26 @@ func New(store *winstore.Store, opts ...Option) (*Server, error) {
 	if s.roll != nil {
 		s.mux.Handle("/rollups", rollup.SnapshotHandler(s.roll, s.draining))
 	}
+	if s.reload != nil {
+		s.mux.HandleFunc("/admin/reload", s.handleReload)
+	}
 	return s, nil
+}
+
+// handleReload swaps in fresh attribution tables. POST only: the swap is a
+// state change, and keeping it off GET keeps crawlers and health checks from
+// triggering disk reloads.
+func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.reload(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"reloaded"}`)
 }
 
 // Handler returns the server's mux — every endpoint on one handler.
@@ -401,16 +427,35 @@ func (s *Server) queryHandler(dim string) http.Handler {
 
 // --- health ---------------------------------------------------------------
 
+// lossQueue is one stage queue's loss accounting within /query/health.
+type lossQueue struct {
+	Offered uint64 `json:"offered"`
+	Dropped uint64 `json:"dropped"`
+	Sampled uint64 `json:"sampled"`
+}
+
+// lossStatus is the /query/health overload-degradation block: how much of
+// the offered load was lost, and how much of that loss was the sampler's
+// deliberate, accounted shed rather than accidental overflow.
+type lossStatus struct {
+	LossRate    float64   `json:"loss_rate"`
+	SampledRate float64   `json:"sampled_rate"`
+	Fill        lossQueue `json:"fill"`
+	Look        lossQueue `json:"look"`
+	Write       lossQueue `json:"write"`
+}
+
 // healthResponse is the /query/health wire shape.
 type healthResponse struct {
-	Status     string     `json:"status"` // "ok" or "draining"
-	Oldest     int64      `json:"oldest,omitempty"`
-	Newest     int64      `json:"newest,omitempty"`
-	Partitions int        `json:"partitions"`
-	Windows    int        `json:"windows"`
-	Rows       int        `json:"rows"`
-	DiskBytes  int64      `json:"disk_bytes"`
-	Cache      CacheStats `json:"cache"`
+	Status     string      `json:"status"` // "ok" or "draining"
+	Oldest     int64       `json:"oldest,omitempty"`
+	Newest     int64       `json:"newest,omitempty"`
+	Partitions int         `json:"partitions"`
+	Windows    int         `json:"windows"`
+	Rows       int         `json:"rows"`
+	DiskBytes  int64       `json:"disk_bytes"`
+	Cache      CacheStats  `json:"cache"`
+	Loss       *lossStatus `json:"loss,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
@@ -429,6 +474,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
 	}
 	if s.draining != nil && s.draining() {
 		resp.Status = "draining"
+	}
+	if s.pipeline != nil {
+		ps := s.pipeline()
+		resp.Loss = &lossStatus{
+			LossRate:    ps.LossRate(),
+			SampledRate: ps.SampledRate(),
+			Fill:        lossQueue{Offered: ps.FillQueue.Offered(), Dropped: ps.FillQueue.Dropped, Sampled: ps.FillQueue.Sampled},
+			Look:        lossQueue{Offered: ps.LookQueue.Offered(), Dropped: ps.LookQueue.Dropped, Sampled: ps.LookQueue.Sampled},
+			Write:       lossQueue{Offered: ps.WriteQueue.Offered(), Dropped: ps.WriteQueue.Dropped, Sampled: ps.WriteQueue.Sampled},
+		}
 	}
 	if oldest, newest := s.store.Bounds(); !oldest.IsZero() {
 		resp.Oldest, resp.Newest = oldest.Unix(), newest.Unix()
@@ -489,6 +544,14 @@ func writePipelineMetrics(p *metrics.PromWriter, st core.Stats) {
 		map[string]string{"queue": "look"}, st.LookQueue.Dropped)
 	p.Counter("flowdns_queue_dropped_total", "Records dropped at a stage queue.",
 		map[string]string{"queue": "write"}, st.WriteQueue.Dropped)
+	p.Counter("flowdns_queue_sampled_total", "Records deliberately shed by the adaptive sampler.",
+		map[string]string{"queue": "fill"}, st.FillQueue.Sampled)
+	p.Counter("flowdns_queue_sampled_total", "Records deliberately shed by the adaptive sampler.",
+		map[string]string{"queue": "look"}, st.LookQueue.Sampled)
+	p.Counter("flowdns_queue_sampled_total", "Records deliberately shed by the adaptive sampler.",
+		map[string]string{"queue": "write"}, st.WriteQueue.Sampled)
+	p.Gauge("flowdns_loss_rate", "Lost (dropped + sampled) over offered, across all stage queues.", nil, st.LossRate())
+	p.Gauge("flowdns_sampled_rate", "Deliberately sampled over offered, across all stage queues.", nil, st.SampledRate())
 }
 
 func writeStoreMetrics(p *metrics.PromWriter, st winstore.Stats) {

@@ -15,8 +15,10 @@ import (
 	"testing"
 	"time"
 
+	"errors"
 	"repro/internal/core"
 	"repro/internal/dbl"
+	"repro/internal/queue"
 	"repro/internal/rollup"
 	"repro/internal/winstore"
 )
@@ -345,5 +347,117 @@ func TestServeLifecycle(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not shut down")
+	}
+}
+
+// TestMetricsSampledCounters checks that the sampler's deliberate shed shows
+// up per queue in /metrics alongside the loss-rate gauges, so overload
+// degradation is visible where operators already look for drops.
+func TestMetricsSampledCounters(t *testing.T) {
+	pipeline := func() core.Stats {
+		return core.Stats{
+			FillQueue:  queue.Stats{Enqueued: 70, Dropped: 10, Sampled: 20},
+			LookQueue:  queue.Stats{Enqueued: 95, Sampled: 5},
+			WriteQueue: queue.Stats{Enqueued: 100},
+		}
+	}
+	srv := newTestServer(t, goldenStore(t), WithPipelineStats(pipeline))
+	_, body := get(t, srv.Handler(), "/metrics")
+	for _, want := range []string{
+		`flowdns_queue_sampled_total{queue="fill"} 20`,
+		`flowdns_queue_sampled_total{queue="look"} 5`,
+		`flowdns_queue_sampled_total{queue="write"} 0`,
+		`flowdns_queue_dropped_total{queue="fill"} 10`,
+		// (10+20+5+0) lost / (100+100+100) offered
+		"flowdns_loss_rate 0.11666666666666667\n",
+		// (20+5+0) sampled / 300 offered
+		"flowdns_sampled_rate 0.08333333333333333\n",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestHealthLossBlock checks the /query/health loss accounting: per-queue
+// offered/dropped/sampled plus the aggregate rates, present only when
+// pipeline stats are wired.
+func TestHealthLossBlock(t *testing.T) {
+	pipeline := func() core.Stats {
+		return core.Stats{
+			FillQueue:  queue.Stats{Enqueued: 70, Dropped: 10, Sampled: 20},
+			LookQueue:  queue.Stats{Enqueued: 100},
+			WriteQueue: queue.Stats{Enqueued: 50, Sampled: 50},
+		}
+	}
+	srv := newTestServer(t, goldenStore(t), WithPipelineStats(pipeline))
+	_, body := get(t, srv.Handler(), "/query/health")
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Loss == nil {
+		t.Fatalf("no loss block in %s", body)
+	}
+	if h.Loss.Fill != (lossQueue{Offered: 100, Dropped: 10, Sampled: 20}) {
+		t.Fatalf("fill loss = %+v", h.Loss.Fill)
+	}
+	if h.Loss.Write != (lossQueue{Offered: 100, Sampled: 50}) {
+		t.Fatalf("write loss = %+v", h.Loss.Write)
+	}
+	if want := 80.0 / 300.0; h.Loss.LossRate != want {
+		t.Fatalf("loss_rate = %v, want %v", h.Loss.LossRate, want)
+	}
+	if want := 70.0 / 300.0; h.Loss.SampledRate != want {
+		t.Fatalf("sampled_rate = %v, want %v", h.Loss.SampledRate, want)
+	}
+
+	// Without pipeline stats the block is omitted entirely.
+	_, body = get(t, newTestServer(t, goldenStore(t)).Handler(), "/query/health")
+	if bytes.Contains(body, []byte(`"loss"`)) {
+		t.Fatalf("loss block present without pipeline stats: %s", body)
+	}
+}
+
+// TestAdminReload checks the hot-reload endpoint: POST triggers the wired
+// reload exactly once, GET is rejected, a failing reload surfaces as 500,
+// and the route is absent when not wired.
+func TestAdminReload(t *testing.T) {
+	calls := 0
+	var fail error
+	srv := newTestServer(t, goldenStore(t), WithReload(func() error {
+		calls++
+		return fail
+	}))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusOK || calls != 1 {
+		t.Fatalf("POST reload: status %d calls %d", rec.Code, calls)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("reloaded")) {
+		t.Fatalf("reload body = %s", rec.Body.Bytes())
+	}
+
+	rec, _ = get(t, srv.Handler(), "/admin/reload")
+	if rec.Code != http.StatusMethodNotAllowed || calls != 1 {
+		t.Fatalf("GET reload: status %d calls %d", rec.Code, calls)
+	}
+
+	fail = errors.New("bgp table: no such file")
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("failing reload: status %d", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("no such file")) {
+		t.Fatalf("failing reload body = %s", rec.Body.Bytes())
+	}
+
+	// Not wired: the route must not exist.
+	bare := newTestServer(t, goldenStore(t))
+	rec = httptest.NewRecorder()
+	bare.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unwired reload: status %d", rec.Code)
 	}
 }

@@ -16,23 +16,72 @@ import (
 	"time"
 )
 
-// Stats is a point-in-time snapshot of a queue's counters.
+// Stats is a point-in-time snapshot of a queue's counters. Every record
+// offered to the queue lands in exactly one of the first three buckets, so
+// Offered == Enqueued + Dropped + Sampled always holds — loss is never
+// silent, whether it was accidental (Dropped) or deliberate (Sampled).
 type Stats struct {
 	Enqueued uint64 // records accepted into the buffer
 	Dropped  uint64 // records rejected because the buffer was full
+	Sampled  uint64 // records deliberately shed by the adaptive sampler
 	Dequeued uint64 // records handed to consumers
 }
 
 // Offered returns the total number of records offered to the queue.
-func (s Stats) Offered() uint64 { return s.Enqueued + s.Dropped }
+func (s Stats) Offered() uint64 { return s.Enqueued + s.Dropped + s.Sampled }
 
-// LossRate returns Dropped / Offered in [0,1]; 0 when nothing was offered.
+// Lost returns the records that did not enter the buffer, accidental plus
+// deliberate.
+func (s Stats) Lost() uint64 { return s.Dropped + s.Sampled }
+
+// LossRate returns (Dropped + Sampled) / Offered in [0,1]; 0 when nothing
+// was offered. Sampled shed counts as loss: the operator chose the rate,
+// but the records are gone all the same.
 func (s Stats) LossRate() float64 {
 	off := s.Offered()
 	if off == 0 {
 		return 0
 	}
-	return float64(s.Dropped) / float64(off)
+	return float64(s.Lost()) / float64(off)
+}
+
+// SamplerConfig configures adaptive overload shedding on a queue: instead
+// of running the buffer into the wall and dropping whatever arrives after
+// (silent, bursty, biased toward whoever offers last), the queue starts
+// shedding a controlled fraction of offered records once the buffer passes
+// LowWater, ramping linearly to MaxShed at HighWater. Shed records are
+// counted in Stats.Sampled, so the degradation is deliberate and fully
+// accounted — the paper's "buffer usage stable to avoid any loss" goal,
+// inverted: when loss is unavoidable, make it measured and smooth.
+type SamplerConfig struct {
+	// LowWater is the buffer fill in (0,1) below which nothing is shed.
+	LowWater float64
+	// HighWater is the fill at which the shed rate reaches MaxShed; between
+	// the watermarks the rate ramps linearly.
+	HighWater float64
+	// MaxShed is the shed-fraction ceiling in (0,1]. 0 disables sampling —
+	// the zero SamplerConfig is a no-op.
+	MaxShed float64
+}
+
+// Enabled reports whether the config sheds anything at all.
+func (c SamplerConfig) Enabled() bool { return c.MaxShed > 0 }
+
+// shedScale is the fixed-point denominator of the shed-credit accumulator:
+// rates are carried as integer credits per record so the long-run shed
+// proportion is exact and deterministic without any per-record floating
+// point or randomness.
+const shedScale = 1 << 20
+
+// rate returns the shed fraction for a given buffer fill.
+func (c SamplerConfig) rate(fill float64) float64 {
+	if !c.Enabled() || fill <= c.LowWater {
+		return 0
+	}
+	if fill >= c.HighWater || c.HighWater <= c.LowWater {
+		return c.MaxShed
+	}
+	return c.MaxShed * (fill - c.LowWater) / (c.HighWater - c.LowWater)
 }
 
 // Queue is a bounded FIFO of values of type T. Producers never block: when
@@ -43,7 +92,17 @@ type Queue[T any] struct {
 	ch       chan T
 	enqueued atomic.Uint64
 	dropped  atomic.Uint64
+	sampled  atomic.Uint64
 	dequeued atomic.Uint64
+
+	// sampler is the adaptive shed config; the zero value disables it. Set
+	// once via SetSampler before producers start — it is read without
+	// synchronization on the offer path.
+	sampler SamplerConfig
+	// shedAcc accumulates fixed-point shed credit (shedScale per record);
+	// each crossing of a shedScale boundary sheds one record, making the
+	// long-run shed proportion exact under any interleaving of producers.
+	shedAcc atomic.Uint64
 
 	// mu coordinates producers with Close: a send on a closed channel
 	// panics even inside a select, so Close takes the write side while
@@ -61,15 +120,52 @@ func New[T any](capacity int) *Queue[T] {
 	return &Queue[T]{ch: make(chan T, capacity)}
 }
 
-// Offer attempts a non-blocking enqueue. It reports whether the record was
-// accepted; a false return means the record was dropped and counted as loss.
-// Offer on a closed queue counts the record as dropped.
+// SetSampler installs an adaptive sampler on the queue. Call before any
+// producer offers; the config is read lock-free on the offer path.
+func (q *Queue[T]) SetSampler(c SamplerConfig) { q.sampler = c }
+
+// Sampler returns the installed sampler config (zero when disabled).
+func (q *Queue[T]) Sampler() SamplerConfig { return q.sampler }
+
+// planShed decides how many of the next n offered records the sampler
+// sheds, based on the current buffer fill. The fixed-point credit
+// accumulator makes the decision deterministic: over any run the shed
+// count is exactly floor(sum of rate·n) regardless of batch sizes or
+// producer interleaving. Returns 0 when sampling is disabled (one branch
+// on the hot path).
+func (q *Queue[T]) planShed(n int) int {
+	if !q.sampler.Enabled() {
+		return 0
+	}
+	rate := q.sampler.rate(float64(len(q.ch)) / float64(cap(q.ch)))
+	if rate <= 0 {
+		return 0
+	}
+	credit := uint64(rate * shedScale)
+	now := q.shedAcc.Add(uint64(n) * credit)
+	return int(now/shedScale - (now-uint64(n)*credit)/shedScale)
+}
+
+// Offer attempts a non-blocking enqueue. It reports whether the queue took
+// responsibility for the record; a false return means the record was
+// dropped and counted as loss. Offer on a closed queue counts the record
+// as dropped.
+//
+// With a sampler installed, a record the sampler sheds also reports true:
+// the queue accepted it and deliberately discarded it (counted in
+// Stats.Sampled). Producers therefore keep counting only accidental
+// overflow as their own drops, and the deliberate shed stays accounted in
+// exactly one place — the queue.
 func (q *Queue[T]) Offer(v T) bool {
 	q.mu.RLock()
 	defer q.mu.RUnlock()
 	if q.closed {
 		q.dropped.Add(1)
 		return false
+	}
+	if q.planShed(1) > 0 {
+		q.sampled.Add(1)
+		return true
 	}
 	select {
 	case q.ch <- v:
@@ -82,10 +178,16 @@ func (q *Queue[T]) Offer(v T) bool {
 }
 
 // OfferBatch attempts a non-blocking enqueue of every record in vs and
-// returns the number accepted. Records that do not fit are dropped and
-// counted as loss, exactly as with per-record Offer, but the counter
-// updates are amortized to two atomic adds per call — the hot-path batching
-// the LookUp→Write handoff relies on.
+// returns the number the queue took responsibility for. Records that do
+// not fit are dropped and counted as loss, exactly as with per-record
+// Offer, but the counter updates are amortized to a few atomic adds per
+// call — the hot-path batching the LookUp→Write handoff relies on.
+//
+// With a sampler installed, the shed quota for the batch is taken off the
+// front (batch order carries no meaning within one datagram) and those
+// records count toward the return value as Sampled, not Dropped — so a
+// producer's "offered − accepted" arithmetic keeps measuring accidental
+// overflow only.
 func (q *Queue[T]) OfferBatch(vs []T) int {
 	if len(vs) == 0 {
 		return 0
@@ -95,6 +197,11 @@ func (q *Queue[T]) OfferBatch(vs []T) int {
 	if q.closed {
 		q.dropped.Add(uint64(len(vs)))
 		return 0
+	}
+	shed := q.planShed(len(vs))
+	if shed > 0 {
+		q.sampled.Add(uint64(shed))
+		vs = vs[shed:]
 	}
 	accepted := 0
 	for i := range vs {
@@ -112,7 +219,7 @@ func (q *Queue[T]) OfferBatch(vs []T) int {
 	if d := len(vs) - accepted; d > 0 {
 		q.dropped.Add(uint64(d))
 	}
-	return accepted
+	return accepted + shed
 }
 
 // Put enqueues v, blocking until space is available. Used by offline replays
@@ -127,12 +234,18 @@ func (q *Queue[T]) Put(v T) {
 		q.dropped.Add(1)
 		return
 	}
+	if q.planShed(1) > 0 {
+		q.sampled.Add(1)
+		return
+	}
 	q.ch <- v
 	q.enqueued.Add(1)
 }
 
 // PutBatch enqueues every record in vs, blocking for space as needed, and
-// returns the number enqueued. It is the backpressure form of OfferBatch:
+// returns the number the queue took responsibility for (with a sampler
+// installed that includes records shed into Stats.Sampled, same as
+// OfferBatch). It is the backpressure form of OfferBatch:
 // inter-stage handoffs use it so that records already accepted into the
 // pipeline are never dropped between stages — loss is accounted only at the
 // intake queues, as with the paper's stream buffers. Like Put, it must not
@@ -148,11 +261,18 @@ func (q *Queue[T]) PutBatch(vs []T) int {
 		q.dropped.Add(uint64(len(vs)))
 		return 0
 	}
+	shed := q.planShed(len(vs))
+	if shed > 0 {
+		q.sampled.Add(uint64(shed))
+		vs = vs[shed:]
+	}
 	for i := range vs {
 		q.ch <- vs[i]
 	}
-	q.enqueued.Add(uint64(len(vs)))
-	return len(vs)
+	if len(vs) > 0 {
+		q.enqueued.Add(uint64(len(vs)))
+	}
+	return len(vs) + shed
 }
 
 // Take dequeues the next record, blocking until one is available. ok is
@@ -257,6 +377,7 @@ func (q *Queue[T]) Stats() Stats {
 	return Stats{
 		Enqueued: q.enqueued.Load(),
 		Dropped:  q.dropped.Load(),
+		Sampled:  q.sampled.Load(),
 		Dequeued: q.dequeued.Load(),
 	}
 }

@@ -66,9 +66,14 @@ const minSealGrace = 2 * time.Second
 // ticker, seals everything left (a closing pipeline never loses a partial
 // window), and reports any export error.
 type Sink struct {
-	r     *Rollup
-	table *bgp.Table
-	list  *dbl.List
+	r *Rollup
+	// Attribution goes through hot handles so the daemon can swap in a
+	// freshly loaded BGP table or blocklist (SIGHUP, /admin/reload) without
+	// stopping the pipeline; WriteBatch loads each handle once per batch,
+	// so a batch is always attributed against one consistent table/list and
+	// a swap never drops an in-flight lookup.
+	table *bgp.Hot
+	list  *dbl.Hot
 
 	out    io.Writer
 	format Format
@@ -87,16 +92,32 @@ type Sink struct {
 type SinkOption func(*Sink)
 
 // WithTable attributes each flow's source address to its origin AS through
-// t. The table must already be frozen (or otherwise done with inserts):
-// the sink only reads it, per bgp.Table's build-then-read contract.
+// t, wrapping it in a fixed hot handle (and freezing it — the sink only
+// reads, per bgp.Table's build-then-read contract). For a reloadable table
+// use WithHotTable.
 func WithTable(t *bgp.Table) SinkOption {
-	return func(s *Sink) { s.table = t }
+	return func(s *Sink) { s.table = bgp.NewHot(t) }
+}
+
+// WithHotTable attributes origin ASes through a hot-swappable handle the
+// caller keeps: Swap on it (e.g. from a SIGHUP handler) and the sink's next
+// batch is attributed against the new table, with zero dropped lookups
+// during the swap.
+func WithHotTable(h *bgp.Hot) SinkOption {
+	return func(s *Sink) { s.table = h }
 }
 
 // WithBlocklist attributes each resolved service name to its DBL category
-// through l.
+// through l, wrapping it in a fixed hot handle. For a reloadable list use
+// WithHotBlocklist.
 func WithBlocklist(l *dbl.List) SinkOption {
-	return func(s *Sink) { s.list = l }
+	return func(s *Sink) { s.list = dbl.NewHot(l) }
+}
+
+// WithHotBlocklist attributes DBL categories through a hot-swappable handle
+// the caller keeps, mirroring WithHotTable.
+func WithHotBlocklist(h *dbl.Hot) SinkOption {
+	return func(s *Sink) { s.list = h }
 }
 
 // WithExport streams sealed windows to w in the given format. Each seal is
@@ -160,16 +181,26 @@ func (s *Sink) WriteBatch(_ context.Context, batch []core.CorrelatedFlow) error 
 		return nil
 	}
 	sh := s.r.shardFor(s.r.NextShard())
+	// One handle load per batch: every record below is attributed against
+	// the same immutable table and list even if a reload swaps mid-batch.
+	var table *bgp.Table
+	if s.table != nil {
+		table = s.table.Load()
+	}
+	var list *dbl.List
+	if s.list != nil {
+		list = s.list.Load()
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for i := range batch {
 		cf := &batch[i]
 		key := Key{Service: cf.Name}
-		if s.table != nil {
-			key.ASN, _ = s.table.Lookup(cf.Flow.SrcIP)
+		if table != nil {
+			key.ASN, _ = table.Lookup(cf.Flow.SrcIP)
 		}
-		if s.list != nil && cf.Name != "" {
-			key.Category = s.list.Lookup(cf.Name)
+		if list != nil && cf.Name != "" {
+			key.Category = list.Lookup(cf.Name)
 		}
 		sh.observe(s.r.windowStart(cf.Flow.Timestamp), key, cf.Flow.Bytes, cf.Flow.Packets)
 	}

@@ -134,21 +134,27 @@ func (s *FlowUDPSink) Send(fr netflow.FlowRecord) error {
 	return nil
 }
 
-// Flush writes any batched records as one datagram.
+// Flush writes any batched records as one datagram. The batch is cleared
+// and the sequence number consumed only after a successful write: a failed
+// encode or write leaves both intact, so the caller can retry Flush without
+// losing the batched records or burning a sequence number the collector
+// never saw (which would read as exporter loss on the other side).
 func (s *FlowUDPSink) Flush() error {
 	if len(s.batch) == 0 {
 		return nil
 	}
-	s.seq++
 	pkt, err := netflow.EncodeV9(netflow.V9Header{
-		SequenceNum: s.seq,
+		SequenceNum: s.seq + 1,
 		SourceID:    s.sourceID,
 		UnixSecs:    uint32(s.batch[0].Timestamp.Unix()),
 	}, s.template, s.batch)
 	if err != nil {
 		return err
 	}
+	if _, err = s.conn.Write(pkt); err != nil {
+		return err
+	}
+	s.seq++
 	s.batch = s.batch[:0]
-	_, err = s.conn.Write(pkt)
-	return err
+	return nil
 }

@@ -6,7 +6,8 @@
 #
 # Runs BenchmarkCorrelate, BenchmarkSinkWrite, BenchmarkRollupObserve,
 # BenchmarkIngestDNS, BenchmarkFlattenResponse, BenchmarkSnapshot,
-# BenchmarkRestore, BenchmarkQueryRange, and BenchmarkCompact on HEAD and on
+# BenchmarkRestore, BenchmarkQueryRange, BenchmarkCompact,
+# BenchmarkInfluxEncode, and BenchmarkSample on HEAD and on
 # the base ref (in a temporary git
 # worktree), prints a benchstat comparison when benchstat is installed, and
 # compares per-benchmark median ns/op with a plain awk check: a benchmark
@@ -18,7 +19,8 @@
 #
 # The HEAD run also snapshots the fill-path and query-plane medians
 # (BenchmarkIngestDNS*, BenchmarkFlattenResponse*, BenchmarkQueryRange*,
-# BenchmarkCompact*) into BENCH_ingest.json at the repo root, so their perf
+# BenchmarkCompact*, BenchmarkInfluxEncode, BenchmarkSample*) into
+# BENCH_ingest.json at the repo root, so their perf
 # trajectory is tracked commit over commit; refresh the checked-in snapshot
 # when the numbers move for a reason.
 #
@@ -27,7 +29,7 @@
 set -euo pipefail
 
 BASE_REF=${1:-origin/main}
-BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$|BenchmarkSnapshot$|BenchmarkRestore$|BenchmarkQueryRange$|BenchmarkCompact$'}
+BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$|BenchmarkSnapshot$|BenchmarkRestore$|BenchmarkQueryRange$|BenchmarkCompact$|BenchmarkInfluxEncode$|BenchmarkSample$'}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-300ms}
 TOLERANCE=${TOLERANCE:-1.20}
@@ -92,7 +94,7 @@ medians "$tmp/head.txt" | sort > "$tmp/head.med"
 if [ -n "$SNAPSHOT" ]; then
     # Strip the -GOMAXPROCS suffix so the snapshot is machine-independent.
     sed -E 's/^(Benchmark[^ \t]+)-[0-9]+/\1/' "$tmp/head.txt" | \
-    awk '/^BenchmarkIngestDNS|^BenchmarkFlattenResponse|^BenchmarkQueryRange|^BenchmarkCompact/ {
+    awk '/^BenchmarkIngestDNS|^BenchmarkFlattenResponse|^BenchmarkQueryRange|^BenchmarkCompact|^BenchmarkInfluxEncode|^BenchmarkSample/ {
         name = $1
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op")     ns[name]     = ns[name] " " $(i-1)
