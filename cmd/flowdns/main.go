@@ -60,6 +60,7 @@ func main() {
 		lookWorkers   = flag.Int("lookup-workers", core.DefaultNumSplit, "LookUp workers (distributed across lanes, min one per lane)")
 		writeWorkers  = flag.Int("write-workers", 2, "Write workers")
 		batchSize     = flag.Int("batch-size", core.DefaultWriteBatchSize, "correlated flows per sink WriteBatch call")
+		ingestBatch   = flag.Int("ingest-batch", 0, "UDP datagrams drained per batched socket read (recvmmsg ring size; 0 = default 32, 1 = single-read loop)")
 		flushEvery    = flag.Duration("flush-interval", core.DefaultWriteFlushInterval, "max wait for a write batch to fill")
 		statsInterval = flag.Duration("stats-interval", 30*time.Second, "stats reporting interval")
 		skipMisses    = flag.Bool("skip-misses", false, "do not write rows for uncorrelated flows")
@@ -120,6 +121,9 @@ func main() {
 		if *sampleLowWater < 0 || *sampleLowWater > 1 || *sampleHighWater < 0 || *sampleHighWater > 1 {
 			log.Fatalf("flowdns: sampler watermarks outside [0,1]")
 		}
+		if *ingestBatch < 0 {
+			log.Fatalf("flowdns: negative -ingest-batch %d", *ingestBatch)
+		}
 		if *sinkURL != "" && *sinkName != "influx" {
 			log.Fatalf("flowdns: -sink-url only applies to -sink influx (have %q)", *sinkName)
 		}
@@ -136,7 +140,7 @@ func main() {
 
 	cfg, outputs, rcfg, qcfg := loadConfig(*configPath, configFlags{
 		variant: *variant, lanes: *lanes, fillLanes: *fillLanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
-		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery,
+		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery, ingestBatch: *ingestBatch,
 		snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvery,
 		sampleLowWater: *sampleLowWater, sampleHighWater: *sampleHighWater, sampleMaxShed: *sampleMaxShed,
 		dnsListen: dnsListen, netflowListen: netflowListen,
@@ -294,7 +298,9 @@ func main() {
 			log.Fatalf("flowdns: netflow listen %s: %v", addr, err)
 		}
 		log.Printf("flowdns: NetFlow listener on %s", pc.LocalAddr())
-		sources = append(sources, stream.NewFlowUDPSource(pc))
+		src := stream.NewFlowUDPSource(pc)
+		src.BatchSize = cfg.IngestBatch
+		sources = append(sources, src)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -337,6 +343,7 @@ type configFlags struct {
 	lanes, fillLanes         int
 	fillWorkers, lookWorkers int
 	writeWorkers, batchSize  int
+	ingestBatch              int
 	flushEvery               time.Duration
 	snapshotPath             string
 	snapshotEvery            time.Duration
@@ -363,6 +370,7 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 		cfg.WriteWorkers = f.writeWorkers
 		cfg.WriteBatchSize = f.batchSize
 		cfg.WriteFlushInterval = f.flushEvery
+		cfg.IngestBatch = f.ingestBatch
 		cfg.SnapshotPath = f.snapshotPath
 		cfg.SnapshotEvery = f.snapshotEvery
 		cfg.SampleLowWater = f.sampleLowWater

@@ -83,6 +83,22 @@ func main() {
 	}
 	emitters.Wait() // DNS leads flows, as resolution precedes traffic
 
+	// The TCP writes above finish well before the collector has drained the
+	// framed messages through the fill lanes into the store. Hold the flow
+	// exporters until the fill counter goes quiet — DNSRecords advances only
+	// after store insertion — so traffic starts against a warm store, as in
+	// a real deployment where resolution precedes traffic by seconds. On a
+	// single-CPU box the line-rate ingest path can otherwise race the whole
+	// flow volume through LookUp before the fills land.
+	for last, quiet := uint64(0), 0; quiet < 4; {
+		time.Sleep(25 * time.Millisecond)
+		if n := c.Stats().DNSRecords; n == last {
+			quiet++
+		} else {
+			last, quiet = n, 0
+		}
+	}
+
 	for s := 0; s < 2; s++ {
 		emitters.Add(1)
 		go func(seed int64) {

@@ -45,14 +45,15 @@ type shard struct {
 	mu sync.RWMutex
 	m  map[string]entry
 	// mb is the binary key space: 16-byte keys (the correlator's canonical
-	// IP form) live here, keyed by value. An array key is hashed with
-	// memhash and stored inline in the bucket, so both inserting and
-	// overwriting are a single map operation with zero allocations — the
-	// property the allocation-free FillUp path rests on. Binary and string
+	// IP form) live in a purpose-built open-addressed table (oatable.go)
+	// with the (value, expiry) payload inline in the slot array, so both
+	// inserting and overwriting are a short linear probe with zero
+	// allocations — the property the allocation-free FillUp path rests on —
+	// and expiry sweeps are a single tombstone-free pass. Binary and string
 	// keys are separate namespaces: a 16-byte key never matches a string
 	// entry (the correlator's IP-NAME store is exclusively binary-keyed,
 	// its NAME-CNAME store exclusively string-keyed).
-	mb map[ipKey]entry
+	mb table
 }
 
 // ipKey is the binary key type: the 16-byte canonical address form.
@@ -91,7 +92,7 @@ func NewWithShards(n int) *Map {
 		m.mask = uint32(n - 1)
 	}
 	for i := range m.shards {
-		m.shards[i] = &shard{m: make(map[string]entry), mb: make(map[ipKey]entry)}
+		m.shards[i] = &shard{m: make(map[string]entry)}
 	}
 	return m
 }
@@ -184,9 +185,7 @@ func (m *Map) SetBytesHashExpire(h uint32, key []byte, value string, exp int64) 
 // string space.
 func setBytesLocked(s *shard, key []byte, value string, exp int64, count *atomic.Int64) {
 	if len(key) == 16 {
-		before := len(s.mb)
-		s.mb[ipKey(key)] = entry{v: value, exp: exp}
-		if len(s.mb) != before {
+		if s.mb.set((*[16]byte)(key), value, exp) {
 			count.Add(1)
 		}
 		return
@@ -280,9 +279,9 @@ func (m *Map) GetBytesHash(h uint32, key []byte) (string, bool) {
 	s := m.shardForHash(h)
 	if len(key) == 16 {
 		s.mu.RLock()
-		e, ok := s.mb[ipKey(key)]
+		v, _, ok := s.mb.get((*[16]byte)(key))
 		s.mu.RUnlock()
-		return e.v, ok
+		return v, ok
 	}
 	s.mu.RLock()
 	e, ok := s.m[string(key)]
@@ -296,9 +295,9 @@ func (m *Map) GetBytesHashExpire(h uint32, key []byte) (string, int64, bool) {
 	s := m.shardForHash(h)
 	if len(key) == 16 {
 		s.mu.RLock()
-		e, ok := s.mb[ipKey(key)]
+		v, exp, ok := s.mb.get((*[16]byte)(key))
 		s.mu.RUnlock()
-		return e.v, e.exp, ok
+		return v, exp, ok
 	}
 	s.mu.RLock()
 	e, ok := s.m[string(key)]
@@ -337,7 +336,7 @@ func (m *Map) Len() int {
 	n := 0
 	for _, s := range m.shards {
 		s.mu.RLock()
-		n += len(s.m) + len(s.mb)
+		n += len(s.m) + s.mb.len()
 		s.mu.RUnlock()
 	}
 	return n
@@ -349,9 +348,9 @@ func (m *Map) Len() int {
 func (m *Map) Clear() {
 	for _, s := range m.shards {
 		s.mu.Lock()
-		m.count.Add(-int64(len(s.m) + len(s.mb)))
+		m.count.Add(-int64(len(s.m) + s.mb.len()))
 		s.m = make(map[string]entry)
-		s.mb = make(map[ipKey]entry)
+		s.mb.reset()
 		s.mu.Unlock()
 	}
 }
@@ -366,9 +365,10 @@ func (m *Map) Items() map[string]string {
 		for k, e := range s.m {
 			out[k] = e.v
 		}
-		for k, e := range s.mb {
-			out[string(k[:])] = e.v
-		}
+		s.mb.iterate(func(sl *oaSlot) bool {
+			out[string(sl.key[:])] = sl.v
+			return true
+		})
 		s.mu.RUnlock()
 	}
 	return out
@@ -388,11 +388,9 @@ func (m *Map) Range(fn func(key, value string) bool) {
 				return
 			}
 		}
-		for k, e := range s.mb {
-			if !fn(string(k[:]), e.v) {
-				s.mu.RUnlock()
-				return
-			}
+		if !s.mb.iterate(func(sl *oaSlot) bool { return fn(string(sl.key[:]), sl.v) }) {
+			s.mu.RUnlock()
+			return
 		}
 		s.mu.RUnlock()
 	}
@@ -414,11 +412,9 @@ func (m *Map) RangeExpire(fn func(key, value string, exp int64) bool) {
 				return
 			}
 		}
-		for k, e := range s.mb {
-			if !fn(string(k[:]), e.v, e.exp) {
-				s.mu.RUnlock()
-				return
-			}
+		if !s.mb.iterate(func(sl *oaSlot) bool { return fn(string(sl.key[:]), sl.v, sl.exp) }) {
+			s.mu.RUnlock()
+			return
 		}
 		s.mu.RUnlock()
 	}
@@ -451,10 +447,11 @@ func (m *Map) AppendShard(i int, space KeySpace, dst []Item) []Item {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if space == Binary {
-		for k, e := range s.mb {
-			key := k
-			dst = append(dst, Item{Key: key[:], Value: e.v, Exp: e.exp})
-		}
+		s.mb.iterate(func(sl *oaSlot) bool {
+			key := sl.key
+			dst = append(dst, Item{Key: key[:], Value: sl.v, Exp: sl.exp})
+			return true
+		})
 		return dst
 	}
 	for k, e := range s.m {
@@ -482,13 +479,10 @@ func (m *Map) RemoveIf(pred func(key, value string, exp int64) bool) int {
 				shardRemoved++
 			}
 		}
-		for k, e := range s.mb {
-			kbuf = k
-			if pred(string(kbuf[:]), e.v, e.exp) {
-				delete(s.mb, k)
-				shardRemoved++
-			}
-		}
+		shardRemoved += s.mb.removeIf(func(sl *oaSlot) bool {
+			kbuf = sl.key
+			return pred(string(kbuf[:]), sl.v, sl.exp)
+		})
 		m.count.Add(-int64(shardRemoved))
 		removed += shardRemoved
 		s.mu.Unlock()
@@ -515,12 +509,7 @@ func (m *Map) RemoveIfExpired(now int64) int {
 				shardRemoved++
 			}
 		}
-		for k, e := range s.mb {
-			if now > e.exp {
-				delete(s.mb, k)
-				shardRemoved++
-			}
-		}
+		shardRemoved += s.mb.removeIf(func(sl *oaSlot) bool { return now > sl.exp })
 		m.count.Add(-int64(shardRemoved))
 		removed += shardRemoved
 		s.mu.Unlock()
@@ -551,12 +540,12 @@ func (m *Map) Snapshot(dst *Map) {
 			d := dst.shards[i]
 			s.mu.Lock()
 			d.mu.Lock()
-			dst.count.Add(int64(len(s.m) + len(s.mb) - len(d.m) - len(d.mb)))
-			m.count.Add(-int64(len(s.m) + len(s.mb)))
+			dst.count.Add(int64(len(s.m) + s.mb.len() - len(d.m) - d.mb.len()))
+			m.count.Add(-int64(len(s.m) + s.mb.len()))
 			d.m = s.m
 			d.mb = s.mb
 			s.m = make(map[string]entry)
-			s.mb = make(map[ipKey]entry)
+			s.mb.reset()
 			d.mu.Unlock()
 			s.mu.Unlock()
 		}
@@ -568,13 +557,14 @@ func (m *Map) Snapshot(dst *Map) {
 		for k, e := range s.m {
 			dst.SetHashExpire(fnv32(k), k, e.v, e.exp)
 		}
-		for k, e := range s.mb {
-			key := k
-			dst.SetBytesHashExpire(fnv32(key[:]), key[:], e.v, e.exp)
-		}
-		m.count.Add(-int64(len(s.m) + len(s.mb)))
+		s.mb.iterate(func(sl *oaSlot) bool {
+			key := sl.key
+			dst.SetBytesHashExpire(fnv32(key[:]), key[:], sl.v, sl.exp)
+			return true
+		})
+		m.count.Add(-int64(len(s.m) + s.mb.len()))
 		s.m = make(map[string]entry)
-		s.mb = make(map[ipKey]entry)
+		s.mb.reset()
 		s.mu.Unlock()
 	}
 }

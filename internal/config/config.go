@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rollup"
+	"repro/internal/stream"
 
 	// Register the "influx" sink so config validation and the daemon both
 	// see it in the registry.
@@ -167,6 +168,7 @@ type CorrelatorConfig struct {
 	QueueCapacity   int    `json:"queue_capacity"`     // 0 = default
 	WriteBatchSize  int    `json:"write_batch_size"`   // 0 = default (256)
 	WriteFlushMS    int    `json:"write_flush_ms"`     // 0 = default (50 ms)
+	IngestBatch     int    `json:"ingest_batch"`       // UDP datagrams per batched read; 0 = default (32), 1 = single-read loop
 
 	// SnapshotPath enables warm-restart checkpointing: the store is
 	// restored from this file on boot and checkpointed back every
@@ -350,6 +352,10 @@ func (f *File) CoreConfig() (core.Config, error) {
 	if cc.WriteFlushMS > 0 {
 		cfg.WriteFlushInterval = time.Duration(cc.WriteFlushMS) * time.Millisecond
 	}
+	if cc.IngestBatch < 0 {
+		return core.Config{}, fmt.Errorf("config: negative ingest_batch %d", cc.IngestBatch)
+	}
+	cfg.IngestBatch = cc.IngestBatch
 	if cc.SnapshotEverySeconds < 0 {
 		return core.Config{}, fmt.Errorf("config: negative snapshot_every_seconds %d", cc.SnapshotEverySeconds)
 	}
@@ -419,6 +425,7 @@ func Example() *File {
 			LookUpWorkers:        core.DefaultNumSplit,
 			WriteWorkers:         2,
 			WriteBatchSize:       core.DefaultWriteBatchSize,
+			IngestBatch:          stream.DefaultIngestBatch,
 			SnapshotPath:         "flowdns.snapshot",
 			SnapshotEverySeconds: int(core.DefaultSnapshotInterval / time.Second),
 		},

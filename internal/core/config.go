@@ -187,6 +187,16 @@ type Config struct {
 	// but they live here so every frontend (flags, config file, embedding
 	// programs) shares one source of truth, like the fields above.
 
+	// IngestBatch is the number of datagrams a UDP flow source drains per
+	// batched socket read (the recvmmsg ring size): each batch costs one
+	// syscall and one lookup-queue lock regardless of how many packets it
+	// carries. 0 uses the stream default (32); 1 disables batching and
+	// forces the classic one-read-per-datagram loop, which is also the
+	// automatic fallback on platforms or connections without batch-read
+	// support. Like the query knobs below, the correlator itself never
+	// reads this — the daemon applies it to every UDP source it wires.
+	IngestBatch int
+
 	// QueryAddr is the query-plane HTTP listen address (/query/*, /metrics,
 	// /rollups). Empty disables the server.
 	QueryAddr string

@@ -39,16 +39,31 @@ func FuzzDecodeV5(f *testing.F) {
 	f.Add(badCount)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, recs, err := DecodeV5(data)
+		fused, fusedErr := AppendV5Flows(data, nil)
 		if err != nil {
+			// The fused fast path must reject exactly what the staged
+			// decoder rejects.
+			if fusedErr == nil {
+				t.Fatalf("AppendV5Flows accepted a packet DecodeV5 rejected: %v", err)
+			}
 			return
+		}
+		if fusedErr != nil {
+			t.Fatalf("AppendV5Flows rejected a packet DecodeV5 accepted: %v", fusedErr)
 		}
 		if len(recs) != int(h.Count) {
 			t.Fatalf("decoded %d records, header count %d", len(recs), h.Count)
+		}
+		if len(fused) != len(recs) {
+			t.Fatalf("fused decoded %d records, staged %d", len(fused), len(recs))
 		}
 		for i := range recs {
 			fr := recs[i].ToFlowRecord(h)
 			if fr.Timestamp.IsZero() && h.UnixSecs != 0 {
 				t.Fatal("timestamp lost")
+			}
+			if fused[i] != fr {
+				t.Fatalf("record %d: fused %+v staged %+v", i, fused[i], fr)
 			}
 		}
 		if _, err := EncodeV5(h, recs); err != nil {

@@ -398,3 +398,69 @@ func BenchmarkDecodeV9(b *testing.B) {
 		}
 	}
 }
+
+// AppendV5Flows is the fused wire→FlowRecord fast path; it must agree with
+// the staged DecodeV5 + ToFlowRecord conversion record for record, reuse
+// dst's capacity, reject malformed datagrams without extending dst, and be
+// allocation-free once dst has capacity.
+func TestAppendV5Flows(t *testing.T) {
+	h := V5Header{UnixSecs: 1653475200, UnixNsecs: 500}
+	recs := []V5Record{
+		{
+			SrcAddr: [4]byte{198, 51, 100, 7}, DstAddr: [4]byte{203, 0, 113, 9},
+			Packets: 100, Octets: 150000, SrcPort: 443, DstPort: 51234,
+			Proto: ProtoTCP, TCPFlags: 0x18, SrcAS: 64500,
+			NextHop: [4]byte{192, 0, 2, 1},
+		},
+		{
+			SrcAddr: [4]byte{192, 0, 2, 200}, DstAddr: [4]byte{198, 51, 100, 1},
+			Packets: 1, Octets: 64, SrcPort: 53, DstPort: 4444, Proto: ProtoUDP,
+		},
+	}
+	pkt, err := EncodeV5(h, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed dst with a sentinel: appended records must land after it.
+	sentinel := FlowRecord{SrcPort: 9999}
+	got, err := AppendV5Flows(pkt, []FlowRecord{sentinel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1+len(recs) || got[0] != sentinel {
+		t.Fatalf("append shape: len=%d got[0]=%+v", len(got), got[0])
+	}
+	gh, wire, err := DecodeV5(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wire {
+		want := wire[i].ToFlowRecord(gh)
+		if !got[1+i].Timestamp.Equal(want.Timestamp) {
+			t.Fatalf("record %d timestamp: got %v want %v", i, got[1+i].Timestamp, want.Timestamp)
+		}
+		g, w := got[1+i], want
+		g.Timestamp, w.Timestamp = time.Time{}, time.Time{}
+		if g != w {
+			t.Fatalf("record %d: got %+v want %+v", i, g, w)
+		}
+	}
+	// Malformed datagrams must return dst untouched.
+	for _, bad := range [][]byte{pkt[:10], pkt[:len(pkt)-1], append([]byte{0, 9}, pkt[2:]...)} {
+		out, err := AppendV5Flows(bad, got[:1])
+		if err == nil || len(out) != 1 {
+			t.Fatalf("malformed datagram: err=%v len=%d", err, len(out))
+		}
+	}
+	// Zero allocations once dst has capacity.
+	scratch := make([]FlowRecord, 0, v5MaxRecords)
+	if allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		scratch, err = AppendV5Flows(pkt, scratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("AppendV5Flows allocs = %v, want 0", allocs)
+	}
+}

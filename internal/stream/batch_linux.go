@@ -1,0 +1,113 @@
+//go:build linux && (amd64 || arm64)
+
+package stream
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// Batched datagram reads via the recvmmsg(2) syscall, issued directly
+// through the standard library's syscall package. The x/net ipv4.PacketConn
+// ReadBatch wrapper offers the same primitive, but pulling a module in for
+// one syscall is not worth the dependency: the kernel interface is a stable
+// array-of-mmsghdr ABI, reproduced here for the 64-bit platforms this
+// collector deploys on (the build tag keeps the struct layout honest —
+// 32-bit kernels pad mmsghdr differently and simply use the fallback loop).
+//
+// One recvmmsg call fills up to ring-size datagrams into a preallocated
+// contiguous buffer block, so the per-packet syscall cost — the dominant
+// term once decode and fill are allocation-free — is amortized over the
+// whole batch.
+
+// errBatchUnsupported marks a socket or kernel that rejected recvmmsg;
+// the source falls back to the single-read loop permanently.
+var errBatchUnsupported = errors.New("stream: batch reads unsupported")
+
+// mmsghdr mirrors the kernel's struct mmsghdr on 64-bit Linux: the plain
+// msghdr plus the kernel-written per-message byte count.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// batchReader owns the reusable message ring for one socket: n fixed-size
+// buffer slots inside one contiguous allocation, with the iovec and mmsghdr
+// arrays pointing into it, built once and re-submitted on every read.
+type batchReader struct {
+	rc      syscall.RawConn
+	msgs    []mmsghdr
+	iovs    []syscall.Iovec
+	bufs    []byte
+	bufSize int
+}
+
+// newBatchReader prepares a recvmmsg ring of n slots of bufSize bytes each,
+// or returns nil when conn does not expose a raw descriptor (in-memory
+// fakes, exotic tunnels) and the caller must use the single-read loop.
+func newBatchReader(conn net.PacketConn, n, bufSize int) *batchReader {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return nil
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	r := &batchReader{
+		rc:      rc,
+		msgs:    make([]mmsghdr, n),
+		iovs:    make([]syscall.Iovec, n),
+		bufs:    make([]byte, n*bufSize),
+		bufSize: bufSize,
+	}
+	for i := range r.msgs {
+		r.iovs[i].Base = &r.bufs[i*bufSize]
+		r.iovs[i].SetLen(bufSize)
+		r.msgs[i].hdr.Iov = &r.iovs[i]
+		r.msgs[i].hdr.Iovlen = 1
+		// Name stays nil: the collector never uses the peer address, and a
+		// nil msg_name spares the kernel the per-packet address copy-out.
+	}
+	return r
+}
+
+// read blocks until at least one datagram is available and returns how many
+// were drained into the ring (their payloads via packet). A socket the
+// kernel refuses recvmmsg on returns errBatchUnsupported; a closed socket
+// surfaces the poller's net.ErrClosed like a plain read would.
+func (r *batchReader) read() (int, error) {
+	var n int
+	var errno syscall.Errno
+	err := r.rc.Read(func(fd uintptr) bool {
+		nn, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&r.msgs[0])), uintptr(len(r.msgs)),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if e == syscall.EAGAIN {
+			return false // wait for readability and retry
+		}
+		n, errno = int(nn), e
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch errno {
+	case 0:
+		return n, nil
+	case syscall.ENOSYS, syscall.EINVAL, syscall.EOPNOTSUPP:
+		return 0, errBatchUnsupported
+	default:
+		return 0, errno
+	}
+}
+
+// packet returns the i-th datagram of the last read, aliasing the ring;
+// valid until the next read call.
+func (r *batchReader) packet(i int) []byte {
+	off := i * r.bufSize
+	return r.bufs[off : off+int(r.msgs[i].len)]
+}

@@ -1,0 +1,23 @@
+//go:build !linux || !(amd64 || arm64)
+
+package stream
+
+import (
+	"errors"
+	"net"
+)
+
+// Batch reads need the Linux recvmmsg syscall and the 64-bit mmsghdr
+// layout; every other platform uses the single-read loop. The stub keeps
+// the call sites identical so FlowUDPSource.Run stays platform-free.
+
+var errBatchUnsupported = errors.New("stream: batch reads unsupported")
+
+type batchReader struct{}
+
+// newBatchReader always reports batch reads unavailable on this platform.
+func newBatchReader(net.PacketConn, int, int) *batchReader { return nil }
+
+func (r *batchReader) read() (int, error) { return 0, errBatchUnsupported }
+
+func (r *batchReader) packet(int) []byte { return nil }

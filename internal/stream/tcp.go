@@ -32,13 +32,20 @@ func WriteFrame(w io.Writer, msg []byte) error {
 }
 
 // ReadFrame reads one length-prefixed message, reusing buf when it has
-// capacity. It returns the payload (aliasing buf) or an error.
+// capacity. It returns the payload (aliasing buf) or an error. The length
+// header is read into buf too — a stack-local header array would escape
+// through the io.Reader interface and cost one heap allocation per frame,
+// which at ISP stream rates is the difference between an allocation-free
+// read loop and a GC-visible one.
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [2]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if cap(buf) < 2 {
+		buf = make([]byte, 0, 4096)
+	}
+	hdr := buf[:2]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := int(binary.BigEndian.Uint16(hdr[:]))
+	n := int(binary.BigEndian.Uint16(hdr))
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	}
