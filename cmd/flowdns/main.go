@@ -37,6 +37,9 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dbl"
+	"repro/internal/fault"
+	"repro/internal/influxsink"
+	"repro/internal/metrics"
 	"repro/internal/queryapi"
 	"repro/internal/rollup"
 	"repro/internal/stream"
@@ -78,6 +81,12 @@ func main() {
 		rollupHTTP   = flag.String("rollup-http", "", "listen address for the /rollups live snapshot endpoint ('' = disabled)")
 		bgpTablePath = flag.String("bgp-table", "", "prefix→origin-ASN file for rollup AS attribution")
 		dblPath      = flag.String("dbl", "", "domain blocklist file for rollup DBL-category attribution")
+
+		dnsIdle    = flag.Duration("dns-idle-timeout", 0, "close a DNS TCP stream that goes silent for this long (0 = keep wedged streams open)")
+		retryOn    = flag.Bool("retry-sink", false, "wrap the output sink in a retry/spill wrapper: timeout-bounded attempts, doubling backoff, bounded buffering across sink outages")
+		retrySpill = flag.String("retry-spill", "", "on-disk spill file for -retry-sink, replayed after recovery or restart ('' = memory-only)")
+		faultSpecs = flag.String("faults", "", "arm failpoints at boot: name=spec[;name=spec...], same grammar as the FLOWDNS_FAULTS env var (chaos testing)")
+		faultAdmin = flag.Bool("fault-admin", false, "mount /admin/fault on the query server: GET failpoint catalog, POST arm/disarm (chaos testing)")
 
 		queryAddr    = flag.String("query-addr", "", "query-plane HTTP listen address serving /query/*, /metrics, /rollups ('' = disabled; requires -store-dir)")
 		storeDir     = flag.String("store-dir", "", "window-store partition directory persisting sealed rollup windows ('' = disabled; requires -rollup)")
@@ -127,6 +136,12 @@ func main() {
 		if *sinkURL != "" && *sinkName != "influx" {
 			log.Fatalf("flowdns: -sink-url only applies to -sink influx (have %q)", *sinkName)
 		}
+		if *dnsIdle < 0 {
+			log.Fatalf("flowdns: negative -dns-idle-timeout %v", *dnsIdle)
+		}
+		if *retrySpill != "" && !*retryOn {
+			log.Fatalf("flowdns: -retry-spill set without -retry-sink")
+		}
 	}
 
 	if *exampleConfig {
@@ -138,12 +153,17 @@ func main() {
 		return
 	}
 
-	cfg, outputs, rcfg, qcfg := loadConfig(*configPath, configFlags{
+	var flagRetry *config.RetryConfig
+	if *retryOn {
+		flagRetry = &config.RetryConfig{SpillPath: *retrySpill}
+	}
+	cfg, outputs, rcfg, qcfg, chaos := loadConfig(*configPath, configFlags{
 		variant: *variant, lanes: *lanes, fillLanes: *fillLanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
 		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery, ingestBatch: *ingestBatch,
 		snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvery,
 		sampleLowWater: *sampleLowWater, sampleHighWater: *sampleHighWater, sampleMaxShed: *sampleMaxShed,
-		dnsListen: dnsListen, netflowListen: netflowListen,
+		dnsListen: dnsListen, netflowListen: netflowListen, dnsIdle: *dnsIdle,
+		retry: flagRetry, faultAdmin: *faultAdmin,
 		out: *out, sink: *sinkName, sinkURL: *sinkURL, measurement: *measurement, skipMisses: *skipMisses,
 		rollup: config.RollupConfig{
 			Enabled: *rollupOn, WindowSeconds: windowSeconds(*window),
@@ -157,7 +177,25 @@ func main() {
 		},
 	})
 
-	sink, closeFiles, err := buildSink(outputs)
+	// Arm failpoints before any sink or source is constructed, so the very
+	// first I/O can hit them: the environment first, then the config file's
+	// map / the -faults flag (later arming of the same point wins).
+	if err := fault.FromEnv(); err != nil {
+		log.Fatalf("flowdns: %s: %v", fault.Env, err)
+	}
+	for name, spec := range chaos.faults {
+		if err := fault.Enable(name, spec); err != nil {
+			log.Fatalf("flowdns: config faults: %v", err)
+		}
+	}
+	if err := fault.EnableSpecs(*faultSpecs); err != nil {
+		log.Fatalf("flowdns: -faults: %v", err)
+	}
+	if armed := armedFaults(); len(armed) > 0 {
+		log.Printf("flowdns: WARNING: %d failpoint(s) armed: %s", len(armed), strings.Join(armed, ", "))
+	}
+
+	sink, closeFiles, extraMetrics, err := buildSink(outputs)
 	if err != nil {
 		log.Fatalf("flowdns: %v", err)
 	}
@@ -253,6 +291,13 @@ func main() {
 		if reload != nil {
 			qopts = append(qopts, queryapi.WithReload(reload))
 		}
+		if chaos.admin {
+			qopts = append(qopts, queryapi.WithFaultAdmin())
+			log.Printf("flowdns: fault admin on http://%s/admin/fault (chaos testing)", cfg.QueryAddr)
+		}
+		for _, fn := range extraMetrics {
+			qopts = append(qopts, queryapi.WithExtraMetrics(fn))
+		}
 		qsrv, err = queryapi.New(store, qopts...)
 		if err != nil {
 			log.Fatalf("flowdns: %v", err)
@@ -290,7 +335,9 @@ func main() {
 			log.Fatalf("flowdns: dns listen %s: %v", addr, err)
 		}
 		log.Printf("flowdns: DNS stream listener on %s", ln.Addr())
-		sources = append(sources, stream.NewDNSListener(ln))
+		l := stream.NewDNSListener(ln)
+		l.IdleTimeout = cfg.DNSIdleTimeout
+		sources = append(sources, l)
 	}
 	for _, addr := range splitAddrs(*netflowListen) {
 		pc, err := net.ListenPacket("udp", addr)
@@ -351,6 +398,9 @@ type configFlags struct {
 	sampleHighWater          float64
 	sampleMaxShed            float64
 	dnsListen, netflowListen *string
+	dnsIdle                  time.Duration
+	retry                    *config.RetryConfig
+	faultAdmin               bool
 	out, sink                string
 	sinkURL, measurement     string
 	skipMisses               bool
@@ -358,9 +408,27 @@ type configFlags struct {
 	query                    config.QueryConfig
 }
 
+// chaosConfig is the resolved fault-injection surface: the failpoints to arm
+// at boot and whether /admin/fault is mounted.
+type chaosConfig struct {
+	faults map[string]string
+	admin  bool
+}
+
+// armedFaults lists the currently armed failpoint specs for the startup log.
+func armedFaults() []string {
+	var out []string
+	for _, st := range fault.List() {
+		if st.Spec != "" {
+			out = append(out, st.Name+"="+st.Spec)
+		}
+	}
+	return out
+}
+
 // loadConfig resolves the correlator config, output list, and rollup/query
 // settings from the config file when given, from flags otherwise.
-func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig, config.RollupConfig, config.QueryConfig) {
+func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig, config.RollupConfig, config.QueryConfig, chaosConfig) {
 	if path == "" {
 		cfg := core.ConfigForVariant(core.Variant(f.variant))
 		cfg.Lanes = f.lanes
@@ -380,8 +448,10 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 		cfg.StoreDir = f.query.StoreDir
 		cfg.Retention = time.Duration(f.query.RetentionSeconds) * time.Second
 		cfg.CompactAfter = time.Duration(f.query.CompactAfterSeconds) * time.Second
+		cfg.DNSIdleTimeout = f.dnsIdle
 		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses,
-			URL: f.sinkURL, Measurement: f.measurement}}, f.rollup, f.query
+				URL: f.sinkURL, Measurement: f.measurement, Retry: f.retry}}, f.rollup, f.query,
+			chaosConfig{admin: f.faultAdmin}
 	}
 	file, err := config.Load(path)
 	if err != nil {
@@ -406,7 +476,7 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 	if outputs[0].Path == "" && outputs[0].NeedsWriter() {
 		outputs[0].Path = f.out
 	}
-	return cfg, outputs, file.Rollup, file.Query
+	return cfg, outputs, file.Rollup, file.Query, chaosConfig{faults: file.Faults, admin: file.FaultAdmin}
 }
 
 // windowSeconds converts the -window duration to the config field's whole
@@ -524,9 +594,11 @@ func buildRollup(rc config.RollupConfig, base core.Sink, outputs []config.Output
 }
 
 // buildSink constructs the configured sink(s); several outputs fan out
-// through a MultiSink. The returned cleanup closes any opened files after
-// the pipeline has flushed.
-func buildSink(outputs []config.OutputConfig) (core.Sink, func(), error) {
+// through a MultiSink. Outputs with a retry block are wrapped in a
+// core.RetrySink. The returned cleanup closes any opened files after the
+// pipeline has flushed; the metrics contributors export per-sink counters
+// (Influx drops, retry/spill depths) on /metrics.
+func buildSink(outputs []config.OutputConfig) (core.Sink, func(), []func(*metrics.PromWriter), error) {
 	var files []*os.File
 	closeFiles := func() {
 		for _, f := range files {
@@ -534,9 +606,10 @@ func buildSink(outputs []config.OutputConfig) (core.Sink, func(), error) {
 		}
 	}
 	var sinks []core.Sink
+	var extra []func(*metrics.PromWriter)
 	stdoutOutputs := 0
 	seenPaths := make(map[string]bool)
-	for _, o := range outputs {
+	for i, o := range outputs {
 		var w io.Writer
 		switch {
 		case !o.NeedsWriter():
@@ -547,13 +620,13 @@ func buildSink(outputs []config.OutputConfig) (core.Sink, func(), error) {
 			// interleave independent write buffers mid-line.
 			if seenPaths[o.Path] {
 				closeFiles()
-				return nil, nil, fmt.Errorf("output path %q used by more than one sink", o.Path)
+				return nil, nil, nil, fmt.Errorf("output path %q used by more than one sink", o.Path)
 			}
 			seenPaths[o.Path] = true
 			f, err := os.Create(o.Path)
 			if err != nil {
 				closeFiles()
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			files = append(files, f)
 			w = f
@@ -562,21 +635,69 @@ func buildSink(outputs []config.OutputConfig) (core.Sink, func(), error) {
 			// their independent write buffers mid-line.
 			if stdoutOutputs++; stdoutOutputs > 1 {
 				closeFiles()
-				return nil, nil, errors.New("at most one output may write to stdout")
+				return nil, nil, nil, errors.New("at most one output may write to stdout")
 			}
 			w = os.Stdout
 		}
 		s, err := o.NewSink(w)
 		if err != nil {
 			closeFiles()
-			return nil, nil, err
+			return nil, nil, nil, err
+		}
+		label := o.Sink
+		if label == "" {
+			label = "tsv"
+		}
+		label = fmt.Sprintf("%s[%d]", label, i)
+		if is, ok := s.(*influxsink.Sink); ok {
+			extra = append(extra, influxSinkMetrics(label, is))
+		}
+		if o.Retry != nil {
+			rs, err := core.NewRetrySink(s, o.Retry.Core())
+			if err != nil {
+				closeFiles()
+				return nil, nil, nil, err
+			}
+			extra = append(extra, retrySinkMetrics(label, rs))
+			s = rs
 		}
 		sinks = append(sinks, s)
 	}
 	if len(sinks) == 1 {
-		return sinks[0], closeFiles, nil
+		return sinks[0], closeFiles, extra, nil
 	}
-	return core.MultiSink(sinks), closeFiles, nil
+	return core.MultiSink(sinks), closeFiles, extra, nil
+}
+
+// retrySinkMetrics exports one RetrySink's accounting under a sink label.
+func retrySinkMetrics(label string, rs *core.RetrySink) func(*metrics.PromWriter) {
+	lbl := map[string]string{"sink": label}
+	return func(p *metrics.PromWriter) {
+		st := rs.Stats()
+		p.Counter("flowdns_retry_delivered_total", "Records the wrapped sink accepted.", lbl, st.Delivered)
+		p.Counter("flowdns_retry_retries_total", "Retry attempts after a failed write.", lbl, st.Retries)
+		p.Counter("flowdns_retry_spilled_total", "Records diverted to the spill queue.", lbl, st.Spilled)
+		p.Counter("flowdns_retry_replayed_total", "Spilled records later delivered.", lbl, st.Replayed)
+		p.Counter("flowdns_retry_dropped_total", "Records dropped against full spill bounds.", lbl, st.Dropped)
+		p.Counter("flowdns_retry_panics_contained_total", "Inner-sink panics converted to errors.", lbl, st.PanicsContained)
+		p.GaugeInt("flowdns_retry_spill_depth", "Backlogged records (memory + disk).", lbl, int64(st.SpillDepth))
+		p.GaugeInt("flowdns_retry_spill_disk_depth", "Backlogged records on disk.", lbl, int64(st.DiskDepth))
+		p.GaugeInt("flowdns_retry_spill_bytes", "Spill file size.", lbl, st.SpillBytes)
+	}
+}
+
+// influxSinkMetrics exports one Influx sink's accounting under a sink label.
+func influxSinkMetrics(label string, is *influxsink.Sink) func(*metrics.PromWriter) {
+	lbl := map[string]string{"sink": label}
+	return func(p *metrics.PromWriter) {
+		st := is.SinkStats()
+		p.Counter("flowdns_influx_points_total", "Line-protocol points buffered.", lbl, st.Points)
+		p.Counter("flowdns_influx_sends_total", "Successful batch sends.", lbl, st.Sends)
+		p.Counter("flowdns_influx_send_errors_total", "Failed batch sends.", lbl, st.SendErrors)
+		p.Counter("flowdns_influx_dropped_bytes_total", "Buffered bytes dropped at the buffer bound.", lbl, st.DroppedBytes)
+		p.Counter("flowdns_influx_dropped_records_total", "Buffered records dropped at the buffer bound.", lbl, st.DroppedRecords)
+		p.Counter("flowdns_influx_dropped_batches_total", "Bound-enforcement passes that dropped data.", lbl, st.DroppedBatches)
+	}
 }
 
 func splitAddrs(s string) []string {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/rollup"
 	"repro/internal/stream"
 
@@ -45,6 +46,14 @@ type File struct {
 	// sealed rollups and the /query/* HTTP API over it (see
 	// internal/winstore and internal/queryapi). Requires the rollup sink.
 	Query QueryConfig `json:"query"`
+	// Faults arms named failpoints at boot (chaos testing): point name →
+	// "[count*]action(arg)" spec, the same grammar as the FLOWDNS_FAULTS
+	// environment variable. Unknown names fail at startup, not silently.
+	Faults map[string]string `json:"faults,omitempty"`
+	// FaultAdmin mounts /admin/fault on the query server (GET catalog,
+	// POST arm/disarm). Off by default: fault injection is a chaos-testing
+	// surface.
+	FaultAdmin bool `json:"fault_admin,omitempty"`
 }
 
 // StreamConfig describes one input stream.
@@ -73,6 +82,35 @@ type OutputConfig struct {
 	URL string `json:"url,omitempty"`
 	// Measurement names the influx measurement ("" = "flowdns").
 	Measurement string `json:"measurement,omitempty"`
+	// Retry wraps this sink in a core.RetrySink: timeout-bounded attempts,
+	// doubling-backoff retries, and a bounded in-memory/on-disk spill queue
+	// replayed once the sink recovers. nil leaves the sink bare.
+	Retry *RetryConfig `json:"retry,omitempty"`
+}
+
+// RetryConfig is the JSON shape of core.RetryConfig. Zero fields take the
+// core defaults (3 retries, 100 ms backoff, 10 s timeout, 65536 records in
+// memory, 64 MiB on disk); negative MaxRetries/MemLimitRecords disable that
+// layer, as in core.
+type RetryConfig struct {
+	MaxRetries      int    `json:"max_retries,omitempty"`
+	BackoffMS       int    `json:"backoff_ms,omitempty"`
+	TimeoutMS       int    `json:"timeout_ms,omitempty"`
+	MemLimitRecords int    `json:"mem_limit_records,omitempty"`
+	SpillPath       string `json:"spill_path,omitempty"`
+	SpillLimitBytes int64  `json:"spill_limit_bytes,omitempty"`
+}
+
+// Core converts to the core package's config.
+func (rc *RetryConfig) Core() core.RetryConfig {
+	return core.RetryConfig{
+		MaxRetries: rc.MaxRetries,
+		Backoff:    time.Duration(rc.BackoffMS) * time.Millisecond,
+		Timeout:    time.Duration(rc.TimeoutMS) * time.Millisecond,
+		MemLimit:   rc.MemLimitRecords,
+		SpillPath:  rc.SpillPath,
+		SpillLimit: rc.SpillLimitBytes,
+	}
 }
 
 // NewSink builds the configured sink over w (ignored by writer-less sinks
@@ -170,6 +208,10 @@ type CorrelatorConfig struct {
 	WriteFlushMS    int    `json:"write_flush_ms"`     // 0 = default (50 ms)
 	IngestBatch     int    `json:"ingest_batch"`       // UDP datagrams per batched read; 0 = default (32), 1 = single-read loop
 
+	// DNSIdleTimeoutSeconds closes a DNS TCP stream silent for this long
+	// (counted in source stats); 0 keeps wedged streams open forever.
+	DNSIdleTimeoutSeconds int `json:"dns_idle_timeout_seconds"`
+
 	// SnapshotPath enables warm-restart checkpointing: the store is
 	// restored from this file on boot and checkpointed back every
 	// SnapshotEverySeconds (0 = default, 300 s) plus once on graceful
@@ -247,6 +289,21 @@ func Parse(data []byte) (*File, error) {
 		}
 		if !o.NeedsWriter() && o.Path != "" && o.Path != "-" {
 			return nil, fmt.Errorf("config: %s: sink %q does not write to a file; remove path %q", field, o.Sink, o.Path)
+		}
+		if o.Retry != nil {
+			if o.Retry.BackoffMS < 0 || o.Retry.TimeoutMS < 0 || o.Retry.SpillLimitBytes < 0 {
+				return nil, fmt.Errorf("config: %s: negative retry durations or spill limit", field)
+			}
+		}
+	}
+	// Fault specs are grammar-checked here; names resolve at arming time in
+	// the daemon, where every failpoint-bearing package is linked.
+	for name, spec := range f.Faults {
+		if name == "" {
+			return nil, fmt.Errorf("config: faults: empty failpoint name")
+		}
+		if err := fault.ValidateSpec(spec); err != nil {
+			return nil, fmt.Errorf("config: faults: %s: %w", name, err)
 		}
 	}
 	if f.Rollup.Enabled {
@@ -356,6 +413,10 @@ func (f *File) CoreConfig() (core.Config, error) {
 		return core.Config{}, fmt.Errorf("config: negative ingest_batch %d", cc.IngestBatch)
 	}
 	cfg.IngestBatch = cc.IngestBatch
+	if cc.DNSIdleTimeoutSeconds < 0 {
+		return core.Config{}, fmt.Errorf("config: negative dns_idle_timeout_seconds %d", cc.DNSIdleTimeoutSeconds)
+	}
+	cfg.DNSIdleTimeout = time.Duration(cc.DNSIdleTimeoutSeconds) * time.Second
 	if cc.SnapshotEverySeconds < 0 {
 		return core.Config{}, fmt.Errorf("config: negative snapshot_every_seconds %d", cc.SnapshotEverySeconds)
 	}
@@ -419,15 +480,16 @@ func Example() *File {
 			CacheEntries:        256,
 		},
 		Correlator: CorrelatorConfig{
-			Variant:              "Main",
-			LookupKey:            "source",
-			FillUpWorkers:        4,
-			LookUpWorkers:        core.DefaultNumSplit,
-			WriteWorkers:         2,
-			WriteBatchSize:       core.DefaultWriteBatchSize,
-			IngestBatch:          stream.DefaultIngestBatch,
-			SnapshotPath:         "flowdns.snapshot",
-			SnapshotEverySeconds: int(core.DefaultSnapshotInterval / time.Second),
+			Variant:               "Main",
+			LookupKey:             "source",
+			FillUpWorkers:         4,
+			LookUpWorkers:         core.DefaultNumSplit,
+			WriteWorkers:          2,
+			WriteBatchSize:        core.DefaultWriteBatchSize,
+			IngestBatch:           stream.DefaultIngestBatch,
+			DNSIdleTimeoutSeconds: 90,
+			SnapshotPath:          "flowdns.snapshot",
+			SnapshotEverySeconds:  int(core.DefaultSnapshotInterval / time.Second),
 		},
 	}
 }

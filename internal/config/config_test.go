@@ -348,3 +348,62 @@ func TestSnapshotConfig(t *testing.T) {
 		}
 	}
 }
+
+// TestResilienceConfig covers the PR-9 robustness knobs: the faults map,
+// the per-output retry block, and the DNS idle timeout.
+func TestResilienceConfig(t *testing.T) {
+	doc := `{
+		"dns_streams":[{"listen":":5353"}],
+		"faults":{"core.sink.write":"2*error(chaos)"},
+		"fault_admin":true,
+		"output":{"sink":"counting","retry":{
+			"max_retries":5,"backoff_ms":50,"timeout_ms":2000,
+			"mem_limit_records":128,"spill_path":"spill.jsonl","spill_limit_bytes":4096
+		}},
+		"correlator":{"dns_idle_timeout_seconds":45}
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.FaultAdmin || f.Faults["core.sink.write"] != "2*error(chaos)" {
+		t.Fatalf("faults = %+v admin = %v", f.Faults, f.FaultAdmin)
+	}
+	rc := f.Output.Retry
+	if rc == nil {
+		t.Fatal("retry block lost in parse")
+	}
+	got := rc.Core()
+	want := core.RetryConfig{
+		MaxRetries: 5, Backoff: 50 * time.Millisecond, Timeout: 2 * time.Second,
+		MemLimit: 128, SpillPath: "spill.jsonl", SpillLimit: 4096,
+	}
+	if got != want {
+		t.Fatalf("Core() = %+v, want %+v", got, want)
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DNSIdleTimeout != 45*time.Second {
+		t.Fatalf("DNSIdleTimeout = %v", cfg.DNSIdleTimeout)
+	}
+
+	// Rejections: malformed fault spec, empty point name, negative retry
+	// fields, negative idle timeout.
+	bad := []struct {
+		doc  string
+		want string
+	}{
+		{`{"dns_streams":[{"listen":":1"}],"faults":{"core.sink.write":"wibble!"}}`, "unknown action"},
+		{`{"dns_streams":[{"listen":":1"}],"faults":{"":"error"}}`, "empty failpoint name"},
+		{`{"dns_streams":[{"listen":":1"}],"output":{"retry":{"backoff_ms":-1}}}`, "negative retry"},
+		{`{"dns_streams":[{"listen":":1"}],"outputs":[{"sink":"counting","retry":{"spill_limit_bytes":-1}}]}`, "negative retry"},
+		{`{"dns_streams":[{"listen":":1"}],"correlator":{"dns_idle_timeout_seconds":-3}}`, "dns_idle_timeout_seconds"},
+	}
+	for _, c := range bad {
+		if _, err := Parse([]byte(c.doc)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%s) err = %v, want containing %q", c.doc, err, c.want)
+		}
+	}
+}

@@ -35,6 +35,12 @@ const (
 	// the checkpoint cost (one lock-striped store scan plus a sequential
 	// file write) stays negligible at that rate.
 	DefaultSnapshotInterval = 5 * time.Minute
+
+	// DefaultRestartBackoffMin/Max bound the supervised-restart backoff: a
+	// first restart after 100 ms keeps a transient fault's outage short,
+	// doubling to a 5 s ceiling so a hard-crashing component cannot spin.
+	DefaultRestartBackoffMin = 100 * time.Millisecond
+	DefaultRestartBackoffMax = 5 * time.Second
 	// DefaultSampleLowWater / DefaultSampleHighWater are the watermark
 	// defaults applied when sampling is enabled (SampleMaxShed > 0) without
 	// explicit watermarks: shedding starts at half-full buffers and reaches
@@ -181,6 +187,14 @@ type Config struct {
 	// window a crash loses at the cost of re-scanning the store more often.
 	SnapshotEvery time.Duration
 
+	// RestartBackoffMin/Max bound the supervised-restart backoff: when a
+	// stage worker or attached Service dies abnormally (panic, early
+	// return), it is restarted after RestartBackoffMin, doubling per
+	// consecutive failure up to RestartBackoffMax. Zero values take the
+	// defaults (100 ms / 5 s).
+	RestartBackoffMin time.Duration
+	RestartBackoffMax time.Duration
+
 	// Query-plane knobs. The correlator itself never reads these — the
 	// daemon wires the window store and query server from them (the serving
 	// plane depends on the rollup layer, which depends on this package) —
@@ -196,6 +210,12 @@ type Config struct {
 	// support. Like the query knobs below, the correlator itself never
 	// reads this — the daemon applies it to every UDP source it wires.
 	IngestBatch int
+
+	// DNSIdleTimeout bounds how long a DNS TCP stream may go silent before
+	// the collector closes it (counted in the source's Timeouts stat). 0
+	// disables the bound. The correlator itself never reads this — the
+	// daemon applies it to every DNS listener it wires.
+	DNSIdleTimeout time.Duration
 
 	// QueryAddr is the query-plane HTTP listen address (/query/*, /metrics,
 	// /rollups). Empty disables the server.
@@ -325,6 +345,15 @@ func (c Config) normalized() Config {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = DefaultSnapshotInterval
+	}
+	if c.RestartBackoffMin <= 0 {
+		c.RestartBackoffMin = DefaultRestartBackoffMin
+	}
+	if c.RestartBackoffMax < c.RestartBackoffMin {
+		c.RestartBackoffMax = DefaultRestartBackoffMax
+		if c.RestartBackoffMax < c.RestartBackoffMin {
+			c.RestartBackoffMax = c.RestartBackoffMin
+		}
 	}
 	if c.DisableSplit {
 		c.NumSplit = 1

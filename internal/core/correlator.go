@@ -90,8 +90,11 @@ func WithSources(srcs ...stream.Source) Option {
 // maintenance loop. Run launches every attached service alongside the
 // pipeline workers and stops it (by cancelling its context) only after the
 // drain completes and the sink has closed, so services observe the final
-// flushed state before shutting down. A service that returns early with an
-// error does not stop the pipeline; the error is joined into Run's result.
+// flushed state before shutting down. Services run supervised: a Serve
+// that panics or returns while the run is live is restarted with
+// exponential backoff (Config.RestartBackoffMin/Max), counted in the
+// per-component Panics/Restarts stats. A service's last abnormal error
+// never stops the pipeline; it is joined into Run's result.
 type Service interface {
 	// Name labels the service in errors.
 	Name() string
@@ -183,6 +186,10 @@ type Correlator struct {
 	sinkErr     atomic.Pointer[error]
 	sinkFailed  chan struct{}
 	sinkErrOnce sync.Once
+
+	// sup tracks panic containment and supervised restarts per component
+	// (stage workers, checkpointer, services).
+	sup supervisor
 
 	stats statsCounters
 }
@@ -548,16 +555,19 @@ func (c *Correlator) Run(ctx context.Context) error {
 			wgFill.Add(1)
 			go func(lane *fillLane) {
 				defer wgFill.Done()
+				h := c.sup.comp(compFill)
 				batch := make([]stream.DNSRecord, 0, ingestBatchSize)
 				var buf fillBuf // worker-private assembly scratch
-				for {
-					var ok bool
-					batch, ok = lane.q.TakeBatch(batch[:0], ingestBatchSize, 0)
-					if !ok {
-						return
+				c.superviseLoop(h, func() {
+					for {
+						var ok bool
+						batch, ok = lane.q.TakeBatch(batch[:0], ingestBatchSize, 0)
+						if !ok {
+							return
+						}
+						c.ingestGuarded(h, batch, lane.in, &buf)
 					}
-					c.ingestBatch(batch, lane.in, &buf)
-				}
+				})
 			}(lane)
 		}
 	}
@@ -587,25 +597,38 @@ func (c *Correlator) Run(ctx context.Context) error {
 			wgLook.Add(1)
 			go func(lane *corrLane) {
 				defer wgLook.Done()
+				h := c.sup.comp(compLook)
 				batch := make([]flowEntry, 0, ingestBatchSize)
 				out := make([]CorrelatedFlow, 0, ingestBatchSize)
 				var tally lookTally
-				for {
-					var ok bool
-					batch, ok = lane.q.TakeBatch(batch[:0], ingestBatchSize, 0)
-					if !ok {
-						return
+				c.superviseLoop(h, func() {
+					for {
+						var ok bool
+						batch, ok = lane.q.TakeBatch(batch[:0], ingestBatchSize, 0)
+						if !ok {
+							return
+						}
+						out = out[:0]
+						var poisoned uint64
+						for i := range batch {
+							out = append(out, CorrelatedFlow{})
+							cf := &out[len(out)-1]
+							// A record whose correlation panics drops that one
+							// output slot — not the batch, not the worker.
+							if !c.correlateGuarded(h, cf, &batch[i].fr, &tally) {
+								out = out[:len(out)-1]
+								poisoned++
+								continue
+							}
+							cf.EnqueuedAt = batch[i].at
+						}
+						tally.flush(&c.stats)
+						if poisoned != 0 {
+							c.stats.poisoned.Add(poisoned)
+						}
+						c.writeQ.PutBatch(out)
 					}
-					out = out[:0]
-					for i := range batch {
-						out = append(out, CorrelatedFlow{})
-						cf := &out[len(out)-1]
-						c.correlateInto(cf, &batch[i].fr, &tally)
-						cf.EnqueuedAt = batch[i].at
-					}
-					tally.flush(&c.stats)
-					c.writeQ.PutBatch(out)
-				}
+				})
 			}(lane)
 		}
 	}
@@ -616,40 +639,45 @@ func (c *Correlator) Run(ctx context.Context) error {
 		wgWrite.Add(1)
 		go func() {
 			defer wgWrite.Done()
+			h := c.sup.comp(compWrite)
 			batch := make([]CorrelatedFlow, 0, c.cfg.WriteBatchSize)
-			for {
-				var ok bool
-				batch, ok = c.writeQ.TakeBatch(batch[:0], c.cfg.WriteBatchSize, c.cfg.WriteFlushInterval)
-				if !ok {
-					return
-				}
-				now := time.Now()
-				for i := range batch {
-					if !batch[i].EnqueuedAt.IsZero() {
-						c.observeWriteDelay(now.Sub(batch[i].EnqueuedAt))
+			c.superviseLoop(h, func() {
+				for {
+					var ok bool
+					batch, ok = c.writeQ.TakeBatch(batch[:0], c.cfg.WriteBatchSize, c.cfg.WriteFlushInterval)
+					if !ok {
+						return
 					}
-				}
-				if c.sinkErr.Load() != nil {
-					continue // sink already failed: drain without writing
-				}
-				if err := c.sink.WriteBatch(writeCtx, batch); err != nil {
-					c.failSink(err)
-					continue
-				}
-				c.stats.written.Add(uint64(len(batch)))
-				// Push buffered sink output down to the writer whenever the
-				// flush-interval timer fired (partial batch) or no more
-				// records are imminent (queue drained) — so
-				// WriteFlushInterval bounds end-to-end latency even when a
-				// burst ends on an exactly-full batch or WriteBatchSize is
-				// 1. Under sustained load batches are full and the queue
-				// non-empty, so the buffer amortizes naturally.
-				if len(batch) < c.cfg.WriteBatchSize || c.writeQ.Len() == 0 {
-					if err := c.sink.Flush(); err != nil {
+					now := time.Now()
+					for i := range batch {
+						if !batch[i].EnqueuedAt.IsZero() {
+							c.observeWriteDelay(now.Sub(batch[i].EnqueuedAt))
+						}
+					}
+					if c.sinkErr.Load() != nil {
+						continue // sink already failed: drain without writing
+					}
+					// A panicking sink is contained and handled like a sink
+					// error: the run shuts down cleanly instead of crashing.
+					if err := guardErr(h, func() error { return c.sink.WriteBatch(writeCtx, batch) }); err != nil {
 						c.failSink(err)
+						continue
+					}
+					c.stats.written.Add(uint64(len(batch)))
+					// Push buffered sink output down to the writer whenever the
+					// flush-interval timer fired (partial batch) or no more
+					// records are imminent (queue drained) — so
+					// WriteFlushInterval bounds end-to-end latency even when a
+					// burst ends on an exactly-full batch or WriteBatchSize is
+					// 1. Under sustained load batches are full and the queue
+					// non-empty, so the buffer amortizes naturally.
+					if len(batch) < c.cfg.WriteBatchSize || c.writeQ.Len() == 0 {
+						if err := guardErr(h, c.sink.Flush); err != nil {
+							c.failSink(err)
+						}
 					}
 				}
-			}
+			})
 		}()
 	}
 
@@ -692,12 +720,16 @@ func (c *Correlator) Run(ctx context.Context) error {
 		wgCkpt.Add(1)
 		go func() {
 			defer wgCkpt.Done()
+			h := c.sup.comp(compCheckpoint)
 			ticker := time.NewTicker(c.cfg.SnapshotEvery)
 			defer ticker.Stop()
 			for {
 				select {
 				case <-ticker.C:
-					if err := c.Checkpoint(c.cfg.SnapshotPath); err != nil {
+					// A panic inside the checkpoint write path (injected or
+					// real) is contained and counted as a failed checkpoint;
+					// the previous on-disk generation stays good either way.
+					if err := guardErr(h, func() error { return c.Checkpoint(c.cfg.SnapshotPath) }); err != nil {
 						c.stats.checkpointErrors.Add(1)
 					} else {
 						c.stats.checkpoints.Add(1)
@@ -722,8 +754,36 @@ func (c *Correlator) Run(ctx context.Context) error {
 		wgSvc.Add(1)
 		go func(i int, svc Service) {
 			defer wgSvc.Done()
-			if err := svc.Serve(svcCtx); err != nil {
-				svcErrs[i] = fmt.Errorf("core: service %s: %w", svc.Name(), err)
+			// Supervised serve loop: a service that panics or returns while
+			// the run is still live is restarted with exponential backoff
+			// instead of leaving the pipeline without its query plane or
+			// store maintenance. The last abnormal error is still joined
+			// into Run's result so a flapping service is never silent.
+			h := c.sup.comp("service:" + svc.Name())
+			backoff := c.cfg.RestartBackoffMin
+			var lastErr error
+			for {
+				if err := guardErr(h, func() error { return svc.Serve(svcCtx) }); err != nil {
+					lastErr = err
+				}
+				if svcCtx.Err() != nil {
+					break
+				}
+				h.restarts.Add(1)
+				select {
+				case <-svcCtx.Done():
+				case <-time.After(backoff):
+				}
+				if svcCtx.Err() != nil {
+					break
+				}
+				backoff *= 2
+				if backoff > c.cfg.RestartBackoffMax {
+					backoff = c.cfg.RestartBackoffMax
+				}
+			}
+			if lastErr != nil {
+				svcErrs[i] = fmt.Errorf("core: service %s: %w", svc.Name(), lastErr)
 			}
 		}(i, svc)
 	}
@@ -902,6 +962,12 @@ func (c *Correlator) ingestBatch(recs []stream.DNSRecord, in *interner, buf *fil
 	longEnabled := c.ipName.longEnabled
 	for i := range recs {
 		rec := &recs[i]
+		// Poison failpoint: one atomic load when disabled. Firing here —
+		// before the record touches the stores or the tally — keeps the
+		// per-record containment retry in ingestGuarded exactly-once.
+		if err := fpFillRecord.Inject(); err != nil {
+			panic(err)
+		}
 		if !rec.IsValid() {
 			invalid++
 			continue

@@ -35,6 +35,11 @@ type statsCounters struct {
 	checkpoints      atomic.Uint64
 	checkpointErrors atomic.Uint64
 
+	// poisoned counts records dropped by panic containment: the batch item
+	// whose processing panicked, sacrificed so the worker (and the process)
+	// survive.
+	poisoned atomic.Uint64
+
 	chain [maxChainBucket]atomic.Uint64
 }
 
@@ -147,6 +152,16 @@ type Stats struct {
 	RestoredEntries  uint64
 	RestoredExpired  uint64
 
+	// Poisoned counts records dropped by panic containment (the poisoned
+	// batch item, not its batch and not the process). Panics and Restarts
+	// total the per-component supervision counters in Supervised.
+	Poisoned uint64
+	Panics   uint64
+	Restarts uint64
+	// Supervised is the per-component breakdown (stage workers,
+	// checkpointer, services), sorted by component name.
+	Supervised []SupervisedStatus
+
 	// FillQueue aggregates every fill lane's queue and LookQueue every
 	// correlation lane's; FillLanes and Lanes are the lane counts behind
 	// them.
@@ -243,6 +258,12 @@ func (c *Correlator) Stats() Stats {
 	}
 	for i := range st.ChainHist {
 		st.ChainHist[i] = c.stats.chain[i].Load()
+	}
+	st.Poisoned = c.stats.poisoned.Load()
+	st.Supervised = c.sup.snapshot()
+	for _, s := range st.Supervised {
+		st.Panics += s.Panics
+		st.Restarts += s.Restarts
 	}
 	st.IPNameEntries, st.NameCnameEntries = c.StoreSizes()
 	return st

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/netflow"
+	"repro/internal/stream"
+)
+
+// Stage-worker component names under supervision. Services appear as
+// "service:<Name>".
+const (
+	compFill       = "fill"
+	compLook       = "look"
+	compWrite      = "write"
+	compCheckpoint = "checkpoint"
+)
+
+// Failpoints planted in the pipeline core: core.fill.record and
+// core.look.record poison one record (arm with "N*panic" or "N*error" —
+// an injected error panics too, so either spec exercises containment).
+// The sink-side points live in retrysink.go.
+var (
+	fpFillRecord = fault.New("core.fill.record")
+	fpLookRecord = fault.New("core.look.record")
+)
+
+// compHealth is one supervised component's counters.
+type compHealth struct {
+	name     string
+	panics   atomic.Uint64
+	restarts atomic.Uint64
+}
+
+// supervisor tracks panic/restart counters per supervised component. A
+// component registers lazily on first touch; Run pre-registers the stage
+// workers and every service so the metrics families exist from the start.
+type supervisor struct {
+	mu    sync.Mutex
+	comps map[string]*compHealth
+}
+
+// comp returns (creating if needed) the named component's health block.
+func (s *supervisor) comp(name string) *compHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.comps == nil {
+		s.comps = map[string]*compHealth{}
+	}
+	h, ok := s.comps[name]
+	if !ok {
+		h = &compHealth{name: name}
+		s.comps[name] = h
+	}
+	return h
+}
+
+// SupervisedStatus is one component's externally visible supervision state.
+type SupervisedStatus struct {
+	// Name is the component: "fill", "look", "write", "checkpoint", or
+	// "service:<name>".
+	Name string `json:"name"`
+	// Panics counts contained panics in the component.
+	Panics uint64 `json:"panics"`
+	// Restarts counts supervised restarts of the component's goroutine.
+	Restarts uint64 `json:"restarts"`
+}
+
+// snapshot returns every component's counters, sorted by name.
+func (s *supervisor) snapshot() []SupervisedStatus {
+	s.mu.Lock()
+	hs := make([]*compHealth, 0, len(s.comps))
+	for _, h := range s.comps {
+		hs = append(hs, h)
+	}
+	s.mu.Unlock()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	out := make([]SupervisedStatus, len(hs))
+	for i, h := range hs {
+		out[i] = SupervisedStatus{Name: h.name, Panics: h.panics.Load(), Restarts: h.restarts.Load()}
+	}
+	return out
+}
+
+// guard runs fn, containing a panic: the panic is counted against h and
+// swallowed. It reports whether fn completed normally.
+func guard(h *compHealth, fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			h.panics.Add(1)
+		}
+	}()
+	fn()
+	return true
+}
+
+// guardErr runs fn, converting a panic into a counted error — the shape
+// sink calls need, where the caller must learn the batch did not land.
+func guardErr(h *compHealth, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			h.panics.Add(1)
+			err = fmt.Errorf("core: %s: contained panic: %v", h.name, r)
+		}
+	}()
+	return fn()
+}
+
+// superviseLoop runs body until it returns normally, restarting it with
+// exponential backoff after each contained panic. Worker bodies return
+// normally when their stage queue closes, so a healthy drain always ends
+// the loop; the backoff only engages on the abnormal path.
+func (c *Correlator) superviseLoop(h *compHealth, body func()) {
+	backoff := c.cfg.RestartBackoffMin
+	for {
+		if guard(h, body) {
+			return
+		}
+		h.restarts.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > c.cfg.RestartBackoffMax {
+			backoff = c.cfg.RestartBackoffMax
+		}
+	}
+}
+
+// ingestGuarded is the fill worker's contained ingestBatch. ingestBatch
+// flushes its stats tally only after the whole batch lands, and store
+// inserts are idempotent last-write-wins puts, so on a contained panic the
+// batch is reprocessed record-at-a-time: every healthy record is applied
+// (and counted) exactly once, and only the poisoned record is dropped.
+func (c *Correlator) ingestGuarded(h *compHealth, batch []stream.DNSRecord, in *interner, buf *fillBuf) {
+	if guard(h, func() { c.ingestBatch(batch, in, buf) }) {
+		return
+	}
+	for i := range batch {
+		if !guard(h, func() { c.ingestBatch(batch[i:i+1], in, buf) }) {
+			c.stats.poisoned.Add(1)
+		}
+	}
+}
+
+// correlateGuarded is the look worker's contained per-record correlation.
+// It reports whether the record correlated normally; a contained panic
+// leaves cf unusable and the caller drops that one output slot. The
+// failpoint fires before any tally mutation, so a poisoned record is
+// invisible in the flow counters and visible only in Poisoned/Panics.
+func (c *Correlator) correlateGuarded(h *compHealth, cf *CorrelatedFlow, fr *netflow.FlowRecord, tally *lookTally) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			h.panics.Add(1)
+		}
+	}()
+	if err := fpLookRecord.Inject(); err != nil {
+		panic(err)
+	}
+	c.correlateInto(cf, fr, tally)
+	return true
+}

@@ -16,10 +16,17 @@
 // The sink batches by size and time: WriteBatch appends to a reusable line
 // buffer and ships it when it passes MaxBatchBytes; Flush — called by the
 // Write workers after every partial batch — ships whatever has lingered
-// longer than FlushInterval; Close ships the rest unconditionally. Failed
-// sends are retried with doubling backoff, and on exhaustion the buffer is
-// kept for the next attempt (bounded — see Stats.DroppedBytes), so a
-// briefly unreachable TSDB costs latency, not data.
+// longer than FlushInterval; Close ships the rest unconditionally.
+//
+// Failure handling is transactional so the sink composes with
+// core.RetrySink, which owns retries, backoff, and the spill queue: a
+// WriteBatch whose ship fails rolls the batch's own lines back out of the
+// buffer and returns the error, so a retry of the same batch cannot
+// duplicate points. Lines accepted by earlier WriteBatch calls stay
+// buffered for the next attempt, bounded — beyond the bound the oldest
+// lines are dropped and accounted in Stats.DroppedBytes / DroppedRecords /
+// DroppedBatches, so an endpoint outage costs bounded memory, never
+// unbounded growth.
 package influxsink
 
 import (
@@ -41,12 +48,11 @@ const (
 	DefaultMeasurement   = "flowdns"
 	DefaultMaxBatchBytes = 64 << 10
 	DefaultFlushInterval = time.Second
-	DefaultMaxRetries    = 3
-	DefaultRetryBackoff  = 100 * time.Millisecond
 	// maxBufferedFactor bounds the carry-over buffer after failed sends to
 	// maxBufferedFactor × MaxBatchBytes; beyond that the oldest lines are
-	// dropped (and accounted in Stats.DroppedBytes) rather than growing
-	// without limit while the endpoint is down.
+	// dropped (and accounted in Stats.DroppedBytes/DroppedRecords/
+	// DroppedBatches) rather than growing without limit while the endpoint
+	// is down.
 	maxBufferedFactor = 16
 )
 
@@ -74,25 +80,24 @@ type Config struct {
 	// Write workers' per-partial-batch Flush cadence does not defeat
 	// batching under light load (0 = 1 s; negative = ship on every Flush).
 	FlushInterval time.Duration
-	// MaxRetries is how many times a failed send is retried before the
-	// error is surfaced (0 = 3; negative = no retries).
-	MaxRetries int
-	// RetryBackoff is the first retry's delay, doubling per attempt
-	// (0 = 100 ms).
-	RetryBackoff time.Duration
 }
 
 // Stats counts the sink's I/O outcomes.
 type Stats struct {
 	// Points is the number of encoded points (one per flow written).
 	Points uint64
-	// Sends is the number of successful batch ships; Retries counts
-	// re-attempts after failures.
-	Sends   uint64
-	Retries uint64
+	// Sends is the number of successful batch ships; SendErrors counts
+	// failed ship attempts (retrying them is the caller's job — wrap the
+	// sink in a core.RetrySink).
+	Sends      uint64
+	SendErrors uint64
 	// DroppedBytes is how much buffered line protocol was discarded because
-	// the endpoint stayed unreachable past the buffer bound.
-	DroppedBytes uint64
+	// the endpoint stayed unreachable past the buffer bound; DroppedRecords
+	// is how many encoded points those bytes held, and DroppedBatches how
+	// many overflow events cut the buffer.
+	DroppedBytes   uint64
+	DroppedRecords uint64
+	DroppedBatches uint64
 }
 
 // Sink implements core.Sink over InfluxDB line protocol.
@@ -105,9 +110,8 @@ type Sink struct {
 	lastShip time.Time
 	stats    Stats
 
-	// now and sleep are test seams for the clock and the retry backoff.
-	now   func() time.Time
-	sleep func(time.Duration)
+	// now is a test seam for the clock.
+	now func() time.Time
 }
 
 // New builds a Sink from cfg.
@@ -124,18 +128,11 @@ func New(cfg Config) (*Sink, error) {
 	if cfg.FlushInterval == 0 {
 		cfg.FlushInterval = DefaultFlushInterval
 	}
-	if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = DefaultMaxRetries
-	}
-	if cfg.RetryBackoff <= 0 {
-		cfg.RetryBackoff = DefaultRetryBackoff
-	}
 	s := &Sink{
 		cfg:    cfg,
 		client: cfg.Client,
 		buf:    make([]byte, 0, cfg.MaxBatchBytes+1024),
 		now:    time.Now,
-		sleep:  time.Sleep,
 	}
 	if s.client == nil {
 		s.client = &http.Client{Timeout: 10 * time.Second}
@@ -187,10 +184,14 @@ func AppendPoint(dst []byte, measurement string, cf *core.CorrelatedFlow) []byte
 }
 
 // WriteBatch encodes the batch into the reusable line buffer under one lock
-// acquisition and ships it once it passes the size bound.
+// acquisition and ships it once it passes the size bound. The call is
+// transactional: if the ship fails, this batch's own lines are rolled back
+// out of the buffer before the error returns, so the caller (typically a
+// core.RetrySink) can retry or spill the same batch with no duplication.
 func (s *Sink) WriteBatch(_ context.Context, batch []core.CorrelatedFlow) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	pre, prePoints := len(s.buf), s.stats.Points
 	for i := range batch {
 		cf := &batch[i]
 		if cf.Name == "" && s.cfg.SkipMisses {
@@ -200,7 +201,12 @@ func (s *Sink) WriteBatch(_ context.Context, batch []core.CorrelatedFlow) error 
 		s.stats.Points++
 	}
 	if len(s.buf) >= s.cfg.MaxBatchBytes {
-		return s.ship()
+		if err := s.ship(); err != nil {
+			s.buf = s.buf[:pre]
+			s.stats.Points = prePoints
+			s.enforceBound()
+			return err
+		}
 	}
 	return nil
 }
@@ -217,7 +223,11 @@ func (s *Sink) Flush() error {
 	if s.cfg.FlushInterval > 0 && s.now().Sub(s.lastShip) < s.cfg.FlushInterval {
 		return nil
 	}
-	return s.ship()
+	if err := s.ship(); err != nil {
+		s.enforceBound()
+		return err
+	}
+	return nil
 }
 
 // Close ships whatever is buffered, unconditionally: the pipeline's drain
@@ -228,7 +238,11 @@ func (s *Sink) Close() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	return s.ship()
+	if err := s.ship(); err != nil {
+		s.enforceBound()
+		return err
+	}
+	return nil
 }
 
 // SinkStats snapshots the I/O counters.
@@ -238,42 +252,41 @@ func (s *Sink) SinkStats() Stats {
 	return s.stats
 }
 
-// ship sends the buffered lines with retry/backoff, called with mu held.
-// On success the buffer resets (capacity retained). On exhausted retries
-// the lines stay buffered for the next attempt, bounded at
-// maxBufferedFactor×MaxBatchBytes — beyond that the oldest whole lines are
-// dropped and accounted, so an endpoint outage cannot grow memory without
-// limit.
+// ship makes one send attempt of the buffered lines, called with mu held.
+// On success the buffer resets (capacity retained); on failure the lines
+// stay for the next attempt and the error returns to the caller, who owns
+// the retry policy (core.RetrySink in the daemon wiring).
 func (s *Sink) ship() error {
-	var err error
-	backoff := s.cfg.RetryBackoff
-	for attempt := 0; ; attempt++ {
-		if err = s.send(s.buf); err == nil {
-			s.buf = s.buf[:0]
-			s.lastShip = s.now()
-			s.stats.Sends++
-			return nil
-		}
-		if attempt >= s.cfg.MaxRetries {
-			break
-		}
-		s.stats.Retries++
-		s.sleep(backoff)
-		backoff *= 2
+	if err := s.send(s.buf); err != nil {
+		s.stats.SendErrors++
+		return fmt.Errorf("influxsink: %w", err)
 	}
-	if max := s.cfg.MaxBatchBytes * maxBufferedFactor; len(s.buf) > max {
-		cut := len(s.buf) - max
-		// Drop whole lines only: advance the cut to the next newline so the
-		// surviving buffer still starts at a point boundary.
-		if i := bytes.IndexByte(s.buf[cut:], '\n'); i >= 0 {
-			cut += i + 1
-		} else {
-			cut = len(s.buf)
-		}
-		s.stats.DroppedBytes += uint64(cut)
-		s.buf = s.buf[:copy(s.buf, s.buf[cut:])]
+	s.buf = s.buf[:0]
+	s.lastShip = s.now()
+	s.stats.Sends++
+	return nil
+}
+
+// enforceBound caps the carry-over buffer at maxBufferedFactor ×
+// MaxBatchBytes after a failed ship, dropping the oldest whole lines and
+// accounting them in bytes, records, and cut events. Called with mu held.
+func (s *Sink) enforceBound() {
+	max := s.cfg.MaxBatchBytes * maxBufferedFactor
+	if len(s.buf) <= max {
+		return
 	}
-	return fmt.Errorf("influxsink: %w", err)
+	cut := len(s.buf) - max
+	// Drop whole lines only: advance the cut to the next newline so the
+	// surviving buffer still starts at a point boundary.
+	if i := bytes.IndexByte(s.buf[cut:], '\n'); i >= 0 {
+		cut += i + 1
+	} else {
+		cut = len(s.buf)
+	}
+	s.stats.DroppedBytes += uint64(cut)
+	s.stats.DroppedRecords += uint64(bytes.Count(s.buf[:cut], []byte{'\n'}))
+	s.stats.DroppedBatches++
+	s.buf = s.buf[:copy(s.buf, s.buf[cut:])]
 }
 
 // send performs one write attempt of the encoded lines.

@@ -1,0 +1,173 @@
+package queryapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+)
+
+func postForm(t *testing.T, h http.Handler, path string, form url.Values) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestFaultAdminEndpoint walks the whole /admin/fault surface: catalog
+// listing, arming, the armed spec showing in the catalog, disarming, and
+// the error paths.
+func TestFaultAdminEndpoint(t *testing.T) {
+	defer fault.DisableAll()
+	srv := newTestServer(t, goldenStore(t), WithFaultAdmin())
+	h := srv.Handler()
+
+	rec, body := get(t, h, "/admin/fault")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET = %d: %s", rec.Code, body)
+	}
+	var list []fault.Status
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("catalog not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, st := range list {
+		if st.Spec != "" {
+			t.Fatalf("point %s armed at rest: %q", st.Name, st.Spec)
+		}
+		names[st.Name] = true
+	}
+	for _, want := range []string{"core.sink.write", "core.look.record", "winstore.segment.write", "snapshot.rename", "stream.udp.read"} {
+		if !names[want] {
+			t.Fatalf("catalog missing %s (have %v)", want, names)
+		}
+	}
+
+	// Arm one point and see it in the catalog.
+	rec = postForm(t, h, "/admin/fault", url.Values{"name": {"core.sink.write"}, "spec": {"2*error(chaos)"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST arm = %d: %s", rec.Code, rec.Body)
+	}
+	_, body = get(t, h, "/admin/fault")
+	if !strings.Contains(string(body), `"spec": "2*error(chaos)"`) {
+		t.Fatalf("armed spec not listed:\n%s", body)
+	}
+
+	// Empty spec disarms.
+	rec = postForm(t, h, "/admin/fault", url.Values{"name": {"core.sink.write"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST disarm = %d: %s", rec.Code, rec.Body)
+	}
+	_, body = get(t, h, "/admin/fault")
+	if strings.Contains(string(body), "chaos") {
+		t.Fatalf("point still armed after disarm:\n%s", body)
+	}
+
+	// Error paths: unknown point, bad spec, missing name.
+	if rec = postForm(t, h, "/admin/fault", url.Values{"name": {"no.such.point"}}); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown disarm = %d, want 404", rec.Code)
+	}
+	if rec = postForm(t, h, "/admin/fault", url.Values{"name": {"core.sink.write"}, "spec": {"wibble!"}}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad spec = %d, want 400", rec.Code)
+	}
+	if rec = postForm(t, h, "/admin/fault", url.Values{}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing name = %d, want 400", rec.Code)
+	}
+}
+
+// TestFaultAdminOffByDefault proves the chaos surface is not mounted unless
+// asked for.
+func TestFaultAdminOffByDefault(t *testing.T) {
+	srv := newTestServer(t, goldenStore(t))
+	rec, _ := get(t, srv.Handler(), "/admin/fault")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/admin/fault without WithFaultAdmin = %d, want 404", rec.Code)
+	}
+}
+
+// supervisedStats is a canned pipeline snapshot with supervision history.
+func supervisedStats() core.Stats {
+	return core.Stats{
+		Poisoned: 3,
+		Panics:   5,
+		Restarts: 2,
+		Supervised: []core.SupervisedStatus{
+			{Name: "fill", Panics: 1, Restarts: 0},
+			{Name: "look", Panics: 4, Restarts: 2},
+			{Name: "service:queryapi", Panics: 0, Restarts: 0},
+		},
+	}
+}
+
+// TestMetricsSupervisionFaultsAndExtras proves /metrics carries the
+// per-component panic/restart counters, the failpoint hit/armed families,
+// and anything a WithExtraMetrics contributor adds.
+func TestMetricsSupervisionFaultsAndExtras(t *testing.T) {
+	defer fault.DisableAll()
+	if err := fault.Enable("core.look.record", "1000*panic"); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, goldenStore(t),
+		WithPipelineStats(supervisedStats),
+		WithExtraMetrics(func(p *metrics.PromWriter) {
+			p.Counter("flowdns_sink_spilled_total", "Batches spilled by a retry sink.", nil, 7)
+		}),
+	)
+	rec, body := get(t, srv.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	for _, want := range []string{
+		`flowdns_poisoned_total 3`,
+		`flowdns_panics_total{component="look"} 4`,
+		`flowdns_restarts_total{component="look"} 2`,
+		`flowdns_panics_total{component="service:queryapi"} 0`,
+		`flowdns_fault_hits_total{point="core.look.record"} 0`,
+		`flowdns_fault_armed{point="core.look.record"} 1`,
+		`flowdns_fault_armed{point="core.sink.write"} 0`,
+		`flowdns_sink_spilled_total 7`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHealthSupervisionBlock proves /query/health surfaces the supervision
+// counters alongside the loss accounting.
+func TestHealthSupervisionBlock(t *testing.T) {
+	srv := newTestServer(t, goldenStore(t), WithPipelineStats(supervisedStats))
+	rec, body := get(t, srv.Handler(), "/query/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/query/health = %d", rec.Code)
+	}
+	var resp struct {
+		Supervision *struct {
+			Poisoned   uint64                  `json:"poisoned"`
+			Panics     uint64                  `json:"panics"`
+			Restarts   uint64                  `json:"restarts"`
+			Components []core.SupervisedStatus `json:"components"`
+		} `json:"supervision"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Supervision == nil {
+		t.Fatalf("no supervision block:\n%s", body)
+	}
+	s := resp.Supervision
+	if s.Poisoned != 3 || s.Panics != 5 || s.Restarts != 2 || len(s.Components) != 3 {
+		t.Fatalf("supervision block = %+v", s)
+	}
+	if s.Components[1].Name != "look" || s.Components[1].Panics != 4 {
+		t.Fatalf("components = %+v", s.Components)
+	}
+}

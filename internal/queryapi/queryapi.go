@@ -11,6 +11,7 @@
 //	/metrics           pipeline + store stats, Prometheus text format
 //	/rollups           live (unsealed) windows, when a rollup engine is attached
 //	/admin/reload      POST: hot-swap the BGP/DBL attribution tables, when wired
+//	/admin/fault       GET: failpoint catalog; POST: arm or disarm one, when wired
 //
 // The range endpoints share parameters: from / to (unix seconds or
 // RFC 3339), step (Go duration or seconds; 0 = one bucket for the whole
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/rollup"
 	"repro/internal/winstore"
@@ -56,6 +58,8 @@ type Server struct {
 	draining func() bool
 	pipeline func() core.Stats
 	reload   func() error
+	faults   bool
+	extra    []func(*metrics.PromWriter)
 	cache    *cache
 	mux      *http.ServeMux
 }
@@ -87,6 +91,20 @@ func WithCache(entries int) Option { return func(s *Server) { s.cache = newCache
 // serves SIGHUP, so both triggers share one code path.
 func WithReload(fn func() error) Option { return func(s *Server) { s.reload = fn } }
 
+// WithFaultAdmin mounts /admin/fault: GET lists every registered failpoint
+// with its armed spec and hit count; POST arms one ("name" + "spec" form
+// values) or disarms it (empty spec). Off by default — fault injection is a
+// chaos-testing surface, not something a production /metrics scraper should
+// find enabled by accident.
+func WithFaultAdmin() Option { return func(s *Server) { s.faults = true } }
+
+// WithExtraMetrics appends a metrics contributor invoked on every /metrics
+// scrape — the seam through which the daemon exports sink stats (RetrySink
+// spill depths, Influx drops) without queryapi importing those packages.
+func WithExtraMetrics(fn func(*metrics.PromWriter)) Option {
+	return func(s *Server) { s.extra = append(s.extra, fn) }
+}
+
 // New builds a Server over the store and registers its cache on the store's
 // invalidation feed.
 func New(store *winstore.Store, opts ...Option) (*Server, error) {
@@ -114,7 +132,49 @@ func New(store *winstore.Store, opts ...Option) (*Server, error) {
 	if s.reload != nil {
 		s.mux.HandleFunc("/admin/reload", s.handleReload)
 	}
+	if s.faults {
+		s.mux.HandleFunc("/admin/fault", s.handleFault)
+	}
 	return s, nil
+}
+
+// handleFault is the chaos-testing surface: GET returns the failpoint
+// catalog (name, armed spec, hits); POST arms or disarms one point. Arming
+// uses the same "[count*]action(arg)" grammar as the FLOWDNS_FAULTS
+// environment variable, so an operator can copy a spec between the two.
+func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fault.List())
+	case http.MethodPost:
+		name := req.FormValue("name")
+		if name == "" {
+			http.Error(w, "missing name", http.StatusBadRequest)
+			return
+		}
+		spec := req.FormValue("spec")
+		if spec == "" {
+			if !fault.Disable(name) {
+				http.Error(w, fmt.Sprintf("unknown failpoint %q", name), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"status\":\"disabled\",\"name\":%q}\n", name)
+			return
+		}
+		if err := fault.Enable(name, spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"enabled\",\"name\":%q,\"spec\":%q}\n", name, spec)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 // handleReload swaps in fresh attribution tables. POST only: the swap is a
@@ -445,17 +505,29 @@ type lossStatus struct {
 	Write       lossQueue `json:"write"`
 }
 
+// supervisionStatus is the /query/health robustness block: what the panic
+// containment and restart machinery has absorbed so far. A non-zero Panics
+// with the process still answering this request is the supervision layer
+// working as designed.
+type supervisionStatus struct {
+	Poisoned   uint64                  `json:"poisoned"`
+	Panics     uint64                  `json:"panics"`
+	Restarts   uint64                  `json:"restarts"`
+	Components []core.SupervisedStatus `json:"components,omitempty"`
+}
+
 // healthResponse is the /query/health wire shape.
 type healthResponse struct {
-	Status     string      `json:"status"` // "ok" or "draining"
-	Oldest     int64       `json:"oldest,omitempty"`
-	Newest     int64       `json:"newest,omitempty"`
-	Partitions int         `json:"partitions"`
-	Windows    int         `json:"windows"`
-	Rows       int         `json:"rows"`
-	DiskBytes  int64       `json:"disk_bytes"`
-	Cache      CacheStats  `json:"cache"`
-	Loss       *lossStatus `json:"loss,omitempty"`
+	Status      string             `json:"status"` // "ok" or "draining"
+	Oldest      int64              `json:"oldest,omitempty"`
+	Newest      int64              `json:"newest,omitempty"`
+	Partitions  int                `json:"partitions"`
+	Windows     int                `json:"windows"`
+	Rows        int                `json:"rows"`
+	DiskBytes   int64              `json:"disk_bytes"`
+	Cache       CacheStats         `json:"cache"`
+	Loss        *lossStatus        `json:"loss,omitempty"`
+	Supervision *supervisionStatus `json:"supervision,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
@@ -484,6 +556,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
 			Look:        lossQueue{Offered: ps.LookQueue.Offered(), Dropped: ps.LookQueue.Dropped, Sampled: ps.LookQueue.Sampled},
 			Write:       lossQueue{Offered: ps.WriteQueue.Offered(), Dropped: ps.WriteQueue.Dropped, Sampled: ps.WriteQueue.Sampled},
 		}
+		resp.Supervision = &supervisionStatus{
+			Poisoned:   ps.Poisoned,
+			Panics:     ps.Panics,
+			Restarts:   ps.Restarts,
+			Components: ps.Supervised,
+		}
 	}
 	if oldest, newest := s.store.Bounds(); !oldest.IsZero() {
 		resp.Oldest, resp.Newest = oldest.Unix(), newest.Unix()
@@ -510,6 +588,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	}
 	writeStoreMetrics(p, s.store.Stats())
 	writeCacheMetrics(p, s.cache.stats())
+	writeFaultMetrics(p)
+	for _, fn := range s.extra {
+		fn(p)
+	}
 	w.Header().Set("Content-Type", metrics.ContentTypePromText)
 	w.Header().Set("Cache-Control", "no-store")
 	p.WriteTo(w)
@@ -552,6 +634,29 @@ func writePipelineMetrics(p *metrics.PromWriter, st core.Stats) {
 		map[string]string{"queue": "write"}, st.WriteQueue.Sampled)
 	p.Gauge("flowdns_loss_rate", "Lost (dropped + sampled) over offered, across all stage queues.", nil, st.LossRate())
 	p.Gauge("flowdns_sampled_rate", "Deliberately sampled over offered, across all stage queues.", nil, st.SampledRate())
+	p.Counter("flowdns_poisoned_total", "Records dropped by panic containment.", nil, st.Poisoned)
+	for _, c := range st.Supervised {
+		p.Counter("flowdns_panics_total", "Contained panics by supervised component.",
+			map[string]string{"component": c.Name}, c.Panics)
+		p.Counter("flowdns_restarts_total", "Supervised goroutine restarts by component.",
+			map[string]string{"component": c.Name}, c.Restarts)
+	}
+}
+
+// writeFaultMetrics exports the armed state and hit counts of every
+// registered failpoint. With nothing armed this is a block of zeros — which
+// is itself the signal that the disabled fast path is what production runs.
+func writeFaultMetrics(p *metrics.PromWriter) {
+	for _, st := range fault.List() {
+		p.Counter("flowdns_fault_hits_total", "Failpoint fires since process start.",
+			map[string]string{"point": st.Name}, st.Hits)
+		armed := 0.0
+		if st.Spec != "" {
+			armed = 1
+		}
+		p.Gauge("flowdns_fault_armed", "Whether the failpoint is currently armed.",
+			map[string]string{"point": st.Name}, armed)
+	}
 }
 
 func writeStoreMetrics(p *metrics.PromWriter, st winstore.Stats) {

@@ -42,6 +42,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/fault"
 )
 
 // Version is the format version this package writes. Readers reject files
@@ -355,11 +357,40 @@ func (r *Reader) Next() (*Section, error) {
 	return s, nil
 }
 
+// Failpoints on the checkpoint write path, mirroring the winstore segment
+// points: "write" covers the encode (and supports shortwrite for torn
+// files), "sync" the fsync, "rename" the final publish. Every injected
+// fault lands on the temp file before the rename, so the crash-safety
+// sweeps can prove the previous snapshot generation is never lost.
+var (
+	fpSnapWrite  = fault.New("snapshot.write")
+	fpSnapSync   = fault.New("snapshot.sync")
+	fpSnapRename = fault.New("snapshot.rename")
+)
+
+// syncDir fsyncs a directory so the renamed snapshot's directory entry is
+// durable, not just its data blocks.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // WriteFile writes a snapshot atomically: fill writes sections into a
 // temporary file in path's directory, which is fsynced and renamed over
-// path only after Close succeeds. A crash mid-checkpoint leaves the
+// path only after Close succeeds, then the directory is fsynced so the
+// rename itself survives a power cut. A crash mid-checkpoint leaves the
 // previous snapshot intact; readers never observe a partial file.
 func WriteFile(path string, created int64, fill func(*Writer) error) (err error) {
+	if err = fpSnapWrite.Inject(); err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -372,7 +403,7 @@ func WriteFile(path string, created int64, fill func(*Writer) error) (err error)
 			os.Remove(tmp)
 		}
 	}()
-	w, err := NewWriter(f, created)
+	w, err := NewWriter(fpSnapWrite.Writer(f), created)
 	if err != nil {
 		return err
 	}
@@ -382,11 +413,20 @@ func WriteFile(path string, created int64, fill func(*Writer) error) (err error)
 	if err = w.Close(); err != nil {
 		return err
 	}
+	if err = fpSnapSync.Inject(); err != nil {
+		return err
+	}
 	if err = f.Sync(); err != nil {
 		return err
 	}
 	if err = f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err = fpSnapRename.Inject(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }

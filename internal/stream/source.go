@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netflow"
 )
@@ -50,6 +51,7 @@ type SourceStats struct {
 	DecodeError uint64 // frames that failed to decode
 	Records     uint64 // records flattened out of decoded frames
 	Dropped     uint64 // records the ingest façade rejected (stage overflow)
+	Timeouts    uint64 // connections closed for exceeding the idle timeout
 }
 
 // sourceCounters is the shared atomic counter block behind SourceStats.
@@ -58,6 +60,7 @@ type sourceCounters struct {
 	decodeError atomic.Uint64
 	records     atomic.Uint64
 	dropped     atomic.Uint64
+	timeouts    atomic.Uint64
 }
 
 func (c *sourceCounters) snapshot() SourceStats {
@@ -66,6 +69,7 @@ func (c *sourceCounters) snapshot() SourceStats {
 		DecodeError: c.decodeError.Load(),
 		Records:     c.records.Load(),
 		Dropped:     c.dropped.Load(),
+		Timeouts:    c.timeouts.Load(),
 	}
 }
 
@@ -99,7 +103,11 @@ type DNSListener struct {
 	// through the standard logger so a dying resolver stream is never
 	// silent.
 	OnStreamError func(error)
-	counts        sourceCounters
+	// IdleTimeout is handed to every accepted connection's DNSTCPSource:
+	// a stream silent past it is closed (and counted in Stats.Timeouts)
+	// instead of holding its goroutine forever. 0 disables the bound.
+	IdleTimeout time.Duration
+	counts      sourceCounters
 }
 
 // NewDNSListener wraps ln.
@@ -130,6 +138,7 @@ func (l *DNSListener) Run(ctx context.Context, in Ingest) error {
 		}
 		src := NewDNSTCPSource(conn)
 		src.counts = &l.counts
+		src.IdleTimeout = l.IdleTimeout
 		conns.Add(1)
 		go func() {
 			defer conns.Done()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/fault"
 )
 
 // ErrMessageTooLarge is returned when a length-prefixed frame exceeds the
@@ -56,6 +57,10 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// fpDNSRead injects read faults into the DNS TCP read loop (error ends
+// the stream like a peer reset; delay stalls the reader like a slow peer).
+var fpDNSRead = fault.New("stream.dns.read")
+
 // DNSTCPSource reads framed DNS responses from a TCP connection, flattens
 // them, and offers the records through the ingest façade. Records the
 // façade rejects (stage buffer full) are dropped and counted — the paper's
@@ -64,6 +69,13 @@ type DNSTCPSource struct {
 	conn net.Conn
 	// Clock assigns receive timestamps; tests and replays inject their own.
 	Clock func() time.Time
+
+	// IdleTimeout bounds the wait for the next frame. A resolver stream
+	// that goes silent past it is closed and counted in Stats.Timeouts,
+	// instead of pinning the read goroutine (and, under a listener, the
+	// connection slot) forever on a wedged peer. 0 disables the bound.
+	// Set before Run.
+	IdleTimeout time.Duration
 
 	// counts may be shared with a DNSListener aggregating several streams.
 	counts *sourceCounters
@@ -86,8 +98,24 @@ func (s *DNSTCPSource) Run(ctx context.Context, in Ingest) error {
 	// the stage queue, so the buffer is free again the moment it returns.
 	recs := make([]DNSRecord, 0, 16)
 	for {
+		if err := fpDNSRead.Inject(); err != nil {
+			return fmt.Errorf("stream: dns tcp read: %w", err)
+		}
+		if s.IdleTimeout > 0 {
+			if err := s.conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				if ignoreClosed(ctx, err) == nil {
+					return nil
+				}
+				return fmt.Errorf("stream: dns tcp deadline: %w", err)
+			}
+		}
 		frame, err := ReadFrame(s.conn, buf)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && ctx.Err() == nil {
+				s.counts.timeouts.Add(1)
+				return fmt.Errorf("stream: dns tcp: no frame for %v, closing idle connection", s.IdleTimeout)
+			}
 			if ignoreClosed(ctx, err) == nil {
 				return nil
 			}

@@ -7,9 +7,42 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ipfix"
 	"repro/internal/netflow"
 )
+
+// fpUDPRead injects read faults into the flow UDP read loops, batched and
+// single alike (error ends the source like a dead socket; delay stalls it
+// like a starved exporter).
+var fpUDPRead = fault.New("stream.udp.read")
+
+// batchConnReader is the batched-read contract Run drains when the
+// platform and socket support it. The real implementation is the
+// recvmmsg ring in batch_linux.go; the seam below lets tests substitute
+// one on any platform.
+type batchConnReader interface {
+	// read blocks for at least one datagram and reports how many were
+	// drained; errBatchUnsupported means the socket cannot do batch reads
+	// after all and the source must degrade to the single-read loop.
+	read() (int, error)
+	// packet returns the i-th datagram of the last read, aliasing the
+	// ring until the next read.
+	packet(i int) []byte
+}
+
+// newBatchReaderFn builds the platform batch reader; a nil return means
+// batch reads are unavailable (non-Linux build, no raw descriptor) and the
+// single-read loop serves the socket. Tests swap it to exercise the
+// fallback and runtime-degradation paths independent of build tags; the
+// explicit nil check keeps a typed-nil *batchReader from turning into a
+// non-nil interface.
+var newBatchReaderFn = func(conn net.PacketConn, n, bufSize int) batchConnReader {
+	if br := newBatchReader(conn, n, bufSize); br != nil {
+		return br
+	}
+	return nil
+}
 
 // DefaultIngestBatch is the number of datagrams a FlowUDPSource drains per
 // batched socket read when no explicit batch size is configured. 32 keeps
@@ -84,7 +117,7 @@ func (s *FlowUDPSource) Run(ctx context.Context, in Ingest) error {
 	defer s.conn.Close()
 	defer closeOnDone(ctx, func() { s.conn.Close() })()
 	if n := s.batchSize(); n > 1 {
-		if br := newBatchReader(s.conn, n, maxDatagram); br != nil {
+		if br := newBatchReaderFn(s.conn, n, maxDatagram); br != nil {
 			err, handled := s.runBatched(ctx, br, in)
 			if handled {
 				return err
@@ -98,8 +131,11 @@ func (s *FlowUDPSource) Run(ctx context.Context, in Ingest) error {
 // runBatched drains the socket in recvmmsg batches. handled reports whether
 // the source ran to completion here; false means batch reads turned out to
 // be unsupported at runtime and the caller should fall back.
-func (s *FlowUDPSource) runBatched(ctx context.Context, br *batchReader, in Ingest) (err error, handled bool) {
+func (s *FlowUDPSource) runBatched(ctx context.Context, br batchConnReader, in Ingest) (err error, handled bool) {
 	for {
+		if err := fpUDPRead.Inject(); err != nil {
+			return fmt.Errorf("stream: netflow udp batch read: %w", err), true
+		}
 		n, err := br.read()
 		if err != nil {
 			if errors.Is(err, errBatchUnsupported) {
@@ -127,6 +163,9 @@ func (s *FlowUDPSource) runSingle(ctx context.Context, in Ingest) error {
 		s.singleB = make([]byte, maxDatagram)
 	}
 	for {
+		if err := fpUDPRead.Inject(); err != nil {
+			return fmt.Errorf("stream: netflow udp read: %w", err)
+		}
 		n, _, err := s.conn.ReadFrom(s.singleB)
 		if err != nil {
 			if ignoreClosed(ctx, err) == nil {

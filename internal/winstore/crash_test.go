@@ -1,0 +1,149 @@
+package winstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/rollup"
+)
+
+// readGood reads path and fails the test unless it decodes cleanly.
+func readGood(t *testing.T, path string) *Segment {
+	t.Helper()
+	seg, err := ReadSegmentFile(path)
+	if err != nil {
+		t.Fatalf("previous generation unreadable: %v", err)
+	}
+	return seg
+}
+
+// noTempLitter fails the test if dir holds anything but wantFiles.
+func noTempLitter(t *testing.T, dir string, wantFiles int) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != wantFiles {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory holds %v, want %d files (temp litter after fault?)", names, wantFiles)
+	}
+}
+
+// TestSegmentWriteFaultSweep drives every failpoint on the segment write
+// path — ENOSPC at each syscall family plus a torn (short) write — and
+// proves the invariant the atomic-write discipline promises: the attempt
+// fails, the previous good generation still decodes bit-for-bit, and no
+// temp file is left behind.
+func TestSegmentWriteFaultSweep(t *testing.T) {
+	base := time.Date(2022, 5, 25, 12, 0, 0, 0, time.UTC)
+	genA := &Segment{Start: base, Dur: time.Hour, Windows: []rollup.Window{mkWindow(base, time.Minute, 8, 1)}}
+	genB := &Segment{Start: base, Dur: time.Hour, Windows: []rollup.Window{
+		mkWindow(base, time.Minute, 8, 1),
+		mkWindow(base.Add(time.Minute), time.Minute, 6, 2),
+	}}
+	sweeps := []struct{ point, spec string }{
+		{"winstore.segment.write", "1*error(no space left on device)"},
+		{"winstore.segment.write", "1*shortwrite(64)"}, // torn mid-encode
+		{"winstore.segment.write", "1*shortwrite(0)"},  // torn before the header
+		{"winstore.segment.sync", "1*error(input/output error)"},
+		{"winstore.segment.rename", "1*error(no space left on device)"},
+	}
+	for _, sw := range sweeps {
+		t.Run(sw.point+"/"+sw.spec, func(t *testing.T) {
+			defer fault.DisableAll()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "part-0-3600.seg")
+			if err := WriteSegmentFile(path, genA); err != nil {
+				t.Fatalf("good generation write: %v", err)
+			}
+			want := readGood(t, path)
+
+			if err := fault.Enable(sw.point, sw.spec); err != nil {
+				t.Fatal(err)
+			}
+			err := WriteSegmentFile(path, genB)
+			if err == nil {
+				t.Fatal("faulted write reported success")
+			}
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("error lost injection provenance: %v", err)
+			}
+			got := readGood(t, path)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("previous generation changed under a failed write")
+			}
+			noTempLitter(t, dir, 1)
+
+			// The site heals once the budget is spent: the next write lands.
+			if err := WriteSegmentFile(path, genB); err != nil {
+				t.Fatalf("post-fault write: %v", err)
+			}
+			if got := readGood(t, path); len(got.Windows) != len(genB.Windows) {
+				t.Fatalf("recovered write holds %d windows, want %d", len(got.Windows), len(genB.Windows))
+			}
+		})
+	}
+}
+
+// TestStoreSurvivesSegmentFaults proves the same invariant one layer up:
+// a Store whose persist hits ENOSPC counts the error, keeps serving the
+// in-memory windows, retries on the next Add, and a reopened Store sees
+// the last good on-disk generation.
+func TestStoreSurvivesSegmentFaults(t *testing.T) {
+	defer fault.DisableAll()
+	dir := t.TempDir()
+	base := time.Date(2022, 5, 25, 12, 0, 0, 0, time.UTC)
+	cfg := Config{Dir: dir, PartDur: time.Hour}
+
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]rollup.Window{mkWindow(base, time.Minute, 4, 1)}); err != nil {
+		t.Fatalf("good add: %v", err)
+	}
+
+	if err := fault.Enable("winstore.segment.write", "1*error(no space left on device)"); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Add([]rollup.Window{mkWindow(base.Add(time.Minute), time.Minute, 4, 2)})
+	if err == nil {
+		t.Fatal("faulted Add reported success")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", st.WriteErrors)
+	}
+	// The in-memory index still serves both windows despite the failed
+	// persist.
+	wins := s.Query(base, base.Add(time.Hour))
+	if len(wins) != 2 {
+		t.Fatalf("in-memory query returned %d windows, want 2", len(wins))
+	}
+
+	// Disk healed: the next Add re-persists the dirty partition, so a
+	// reopened store sees everything.
+	if err := s.Add([]rollup.Window{mkWindow(base.Add(2*time.Minute), time.Minute, 4, 3)}); err != nil {
+		t.Fatalf("post-fault add: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	wins = s2.Query(base, base.Add(time.Hour))
+	if len(wins) != 3 {
+		t.Fatalf("reopened store serves %d windows, want 3", len(wins))
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/dbl"
+	"repro/internal/fault"
 	"repro/internal/rollup"
 )
 
@@ -315,11 +316,41 @@ func DecodeSegment(r io.Reader) (*Segment, error) {
 	}
 }
 
+// Failpoints on the segment write path, one per syscall family the
+// crash-safety discipline depends on. "write" additionally supports the
+// shortwrite action (a torn write mid-encode); all three take error/delay/
+// panic. Injected faults land on the temp file, never the live segment —
+// the sweep tests prove the previous generation survives each of them.
+var (
+	fpSegWrite  = fault.New("winstore.segment.write")
+	fpSegSync   = fault.New("winstore.segment.sync")
+	fpSegRename = fault.New("winstore.segment.rename")
+)
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable — without it a power cut after rename can roll the directory
+// back to the old entry even though the data blocks were synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // WriteSegmentFile writes seg to path atomically: a temporary file in the
-// same directory, fsynced, then renamed over path — the same discipline as
-// snapshot.WriteFile, so readers never observe a partial segment and a
-// crash mid-write leaves the previous segment intact.
+// same directory, fsynced, then renamed over path, then the directory
+// fsynced — the same discipline as snapshot.WriteFile, so readers never
+// observe a partial segment and a crash mid-write leaves the previous
+// segment intact.
 func WriteSegmentFile(path string, seg *Segment) (err error) {
+	if err = fpSegWrite.Inject(); err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -332,7 +363,10 @@ func WriteSegmentFile(path string, seg *Segment) (err error) {
 			os.Remove(tmp)
 		}
 	}()
-	if err = EncodeSegment(f, seg); err != nil {
+	if err = EncodeSegment(fpSegWrite.Writer(f), seg); err != nil {
+		return err
+	}
+	if err = fpSegSync.Inject(); err != nil {
 		return err
 	}
 	if err = f.Sync(); err != nil {
@@ -341,7 +375,13 @@ func WriteSegmentFile(path string, seg *Segment) (err error) {
 	if err = f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err = fpSegRename.Inject(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // ReadSegmentFile decodes one segment file, honoring DecodeSegment's
