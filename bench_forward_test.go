@@ -1,0 +1,71 @@
+package repro
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+
+	"repro/internal/forward"
+	"repro/internal/netflow"
+)
+
+// BenchmarkForwardFanout measures the router's per-batch fan-out path:
+// consistent-hash placement of every record, per-node partitioning, v9
+// encoding into reused buffers, and the connected-UDP write. The receiving
+// sockets are never read — loopback UDP sheds on overflow without failing
+// the write — so the number is the router's own cost, not a consumer's.
+// The path must stay allocation-free after warmup: the fan-out stage runs
+// on the ingest path, where a per-record allocation becomes GC pressure at
+// line rate.
+//
+//	go test -bench=BenchmarkForwardFanout -benchmem .
+func BenchmarkForwardFanout(b *testing.B) {
+	const nodes = 4
+	var ring []forward.Node
+	for i := 0; i < nodes; i++ {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pc.Close()
+		ring = append(ring, forward.Node{
+			Name:     string(rune('a' + i)),
+			FlowAddr: pc.LocalAddr().String(),
+			// The flow path never dials DNS; any address satisfies the spec.
+			DNSAddr: "127.0.0.1:1",
+		})
+	}
+	r, err := forward.NewRouter(forward.Config{Nodes: ring})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// One ingest-sized batch spread over many source addresses, so every
+	// iteration exercises placement across the whole ring and the per-node
+	// chunked v9 encode.
+	const batch = 256
+	flows := make([]netflow.FlowRecord, batch)
+	for i := range flows {
+		flows[i] = netflow.FlowRecord{
+			SrcIP:   netip.AddrFrom4([4]byte{198, 51, byte(i >> 8), byte(i)}),
+			DstIP:   netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+			SrcPort: 443, DstPort: uint16(50000 + i), Proto: netflow.ProtoTCP,
+			Packets: 1, Bytes: uint64(1000 + i),
+		}
+	}
+
+	// Warmup allocates the stage buffers, per-node encode buffers, and the
+	// retry staging slices, none of which belong in the measured region.
+	if got := r.OfferFlowBatch(flows); got != batch {
+		b.Fatalf("warmup accepted %d of %d", got, batch)
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(batch * 48) // standard v4 template record size, for MB/s context
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.OfferFlowBatch(flows); got != batch {
+			b.Fatalf("accepted %d of %d", got, batch)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbl"
 	"repro/internal/fault"
+	"repro/internal/forward"
 	"repro/internal/influxsink"
 	"repro/internal/metrics"
 	"repro/internal/queryapi"
@@ -88,10 +90,15 @@ func main() {
 		faultSpecs = flag.String("faults", "", "arm failpoints at boot: name=spec[;name=spec...], same grammar as the FLOWDNS_FAULTS env var (chaos testing)")
 		faultAdmin = flag.Bool("fault-admin", false, "mount /admin/fault on the query server: GET failpoint catalog, POST arm/disarm (chaos testing)")
 
-		queryAddr    = flag.String("query-addr", "", "query-plane HTTP listen address serving /query/*, /metrics, /rollups ('' = disabled; requires -store-dir)")
+		queryAddr    = flag.String("query-addr", "", "query-plane HTTP listen address serving /query/*, /metrics, /rollups ('' = disabled; requires -store-dir unless -role is set)")
 		storeDir     = flag.String("store-dir", "", "window-store partition directory persisting sealed rollup windows ('' = disabled; requires -rollup)")
 		retention    = flag.Duration("retention", 0, "delete stored partitions older than this (0 = keep everything)")
 		compactAfter = flag.Duration("compact-after", 0, "compact a partition this long after its interval ends (0 = default 10m, negative = never)")
+
+		role      = flag.String("role", "", "cluster role: '' standalone, 'router' (consistent-hash fan-out to -forward-to nodes, no local store), 'worker' (correlator also serving /admin/handoff)")
+		forwardTo = flag.String("forward-to", "", "router fan-out ring: name=flowAddr/dnsAddr[,name=...] (requires -role router)")
+		nodeName  = flag.String("node", "", "this process's ring name, for handoff placement and cluster health (requires -role)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = default 64); must match across the cluster")
 	)
 	flag.Parse()
 
@@ -114,8 +121,27 @@ func main() {
 		if *retention < 0 {
 			log.Fatalf("flowdns: negative -retention %v", *retention)
 		}
-		if *queryAddr != "" && *storeDir == "" {
+		// A cluster process serves health/metrics/admin on the query
+		// address even without a local window store.
+		if *queryAddr != "" && *storeDir == "" && *role == "" {
 			log.Fatalf("flowdns: -query-addr set without -store-dir (nothing to serve)")
+		}
+		switch *role {
+		case "", "router", "worker":
+		default:
+			log.Fatalf("flowdns: unknown -role %q (want router or worker)", *role)
+		}
+		if *role == "router" && *forwardTo == "" {
+			log.Fatalf("flowdns: -role router requires -forward-to")
+		}
+		if *forwardTo != "" && *role != "router" {
+			log.Fatalf("flowdns: -forward-to requires -role router")
+		}
+		if *nodeName != "" && *role == "" {
+			log.Fatalf("flowdns: -node requires -role")
+		}
+		if *vnodes < 0 {
+			log.Fatalf("flowdns: negative -vnodes %d", *vnodes)
 		}
 		if *storeDir != "" && !*rollupOn {
 			log.Fatalf("flowdns: -store-dir requires -rollup (the store persists sealed rollup windows)")
@@ -157,13 +183,14 @@ func main() {
 	if *retryOn {
 		flagRetry = &config.RetryConfig{SpillPath: *retrySpill}
 	}
-	cfg, outputs, rcfg, qcfg, chaos := loadConfig(*configPath, configFlags{
+	cfg, outputs, rcfg, qcfg, chaos, cluster := loadConfig(*configPath, configFlags{
 		variant: *variant, lanes: *lanes, fillLanes: *fillLanes, fillWorkers: *fillWorkers, lookWorkers: *lookWorkers,
 		writeWorkers: *writeWorkers, batchSize: *batchSize, flushEvery: *flushEvery, ingestBatch: *ingestBatch,
 		snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvery,
 		sampleLowWater: *sampleLowWater, sampleHighWater: *sampleHighWater, sampleMaxShed: *sampleMaxShed,
 		dnsListen: dnsListen, netflowListen: netflowListen, dnsIdle: *dnsIdle,
 		retry: flagRetry, faultAdmin: *faultAdmin,
+		role: *role, forwardTo: *forwardTo, node: *nodeName, vnodes: *vnodes,
 		out: *out, sink: *sinkName, sinkURL: *sinkURL, measurement: *measurement, skipMisses: *skipMisses,
 		rollup: config.RollupConfig{
 			Enabled: *rollupOn, WindowSeconds: windowSeconds(*window),
@@ -193,6 +220,13 @@ func main() {
 	}
 	if armed := armedFaults(); len(armed) > 0 {
 		log.Printf("flowdns: WARNING: %d failpoint(s) armed: %s", len(armed), strings.Join(armed, ", "))
+	}
+
+	// The router role is a different program shape: no correlator, no store,
+	// no sink — just the fan-out stage plus its admin plane.
+	if cluster.role == "router" {
+		runRouter(cfg, cluster, splitAddrs(*dnsListen), splitAddrs(*netflowListen))
+		return
 	}
 
 	sink, closeFiles, extraMetrics, err := buildSink(outputs)
@@ -294,6 +328,29 @@ func main() {
 		if chaos.admin {
 			qopts = append(qopts, queryapi.WithFaultAdmin())
 			log.Printf("flowdns: fault admin on http://%s/admin/fault (chaos testing)", cfg.QueryAddr)
+		}
+		if cluster.role == "worker" {
+			// The handoff surface is late-bound like the drain flag: the
+			// handlers close over the correlator pointer assigned below,
+			// before Run starts the HTTP service.
+			var handoffOnce sync.Once
+			var handoff *forward.Handoff
+			lazy := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				if corr == nil {
+					http.Error(w, "correlator not ready", http.StatusServiceUnavailable)
+					return
+				}
+				handoffOnce.Do(func() { handoff = forward.NewHandoff(corr) })
+				handoff.Handler().ServeHTTP(w, req)
+			})
+			qopts = append(qopts,
+				queryapi.WithAdminHandler("/admin/handoff", lazy),
+				queryapi.WithAdminHandler("/admin/handoff/", lazy),
+				queryapi.WithClusterInfo(func() queryapi.ClusterInfo {
+					return queryapi.ClusterInfo{Role: "worker", Node: cluster.node, VNodes: cluster.vnodes}
+				}),
+			)
+			log.Printf("flowdns: worker %q: shard handoff on http://%s/admin/handoff", cluster.node, cfg.QueryAddr)
 		}
 		for _, fn := range extraMetrics {
 			qopts = append(qopts, queryapi.WithExtraMetrics(fn))
@@ -406,6 +463,17 @@ type configFlags struct {
 	skipMisses               bool
 	rollup                   config.RollupConfig
 	query                    config.QueryConfig
+	role, forwardTo, node    string
+	vnodes                   int
+}
+
+// clusterSpec is the resolved cluster topology: flag or config file, one
+// shape for the rest of the daemon.
+type clusterSpec struct {
+	role   string
+	node   string
+	vnodes int
+	nodes  []forward.Node
 }
 
 // chaosConfig is the resolved fault-injection surface: the failpoints to arm
@@ -428,8 +496,16 @@ func armedFaults() []string {
 
 // loadConfig resolves the correlator config, output list, and rollup/query
 // settings from the config file when given, from flags otherwise.
-func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig, config.RollupConfig, config.QueryConfig, chaosConfig) {
+func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig, config.RollupConfig, config.QueryConfig, chaosConfig, clusterSpec) {
 	if path == "" {
+		cluster := clusterSpec{role: f.role, node: f.node, vnodes: f.vnodes}
+		if f.role == "router" {
+			nodes, err := forward.ParseNodes(f.forwardTo)
+			if err != nil {
+				log.Fatalf("flowdns: -forward-to: %v", err)
+			}
+			cluster.nodes = nodes
+		}
 		cfg := core.ConfigForVariant(core.Variant(f.variant))
 		cfg.Lanes = f.lanes
 		cfg.FillLanes = f.fillLanes
@@ -451,7 +527,7 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 		cfg.DNSIdleTimeout = f.dnsIdle
 		return cfg, []config.OutputConfig{{Path: f.out, Sink: f.sink, SkipMisses: f.skipMisses,
 				URL: f.sinkURL, Measurement: f.measurement, Retry: f.retry}}, f.rollup, f.query,
-			chaosConfig{admin: f.faultAdmin}
+			chaosConfig{admin: f.faultAdmin}, cluster
 	}
 	file, err := config.Load(path)
 	if err != nil {
@@ -476,7 +552,87 @@ func loadConfig(path string, f configFlags) (core.Config, []config.OutputConfig,
 	if outputs[0].Path == "" && outputs[0].NeedsWriter() {
 		outputs[0].Path = f.out
 	}
-	return cfg, outputs, file.Rollup, file.Query, chaosConfig{faults: file.Faults, admin: file.FaultAdmin}
+	cluster := clusterSpec{
+		role:   file.Cluster.Role,
+		node:   file.Cluster.Node,
+		vnodes: file.Cluster.VNodes,
+	}
+	for _, n := range file.Cluster.Nodes {
+		cluster.nodes = append(cluster.nodes, forward.Node{Name: n.Name, FlowAddr: n.Flow, DNSAddr: n.DNS})
+	}
+	return cfg, outputs, file.Rollup, file.Query, chaosConfig{faults: file.Faults, admin: file.FaultAdmin}, cluster
+}
+
+// runRouter is the -role router program: consistent-hash fan-out of every
+// ingested record to the worker ring, plus /ring, /metrics, and
+// /query/health on the query address. Terminates like the daemon:
+// SIGINT/SIGTERM stops intake, flushes the per-node sinks, and exits.
+func runRouter(cfg core.Config, cl clusterSpec, dnsAddrs, flowAddrs []string) {
+	r, err := forward.NewRouter(forward.Config{
+		Nodes:  cl.nodes,
+		VNodes: cl.vnodes,
+		Key:    cfg.Key,
+	})
+	if err != nil {
+		log.Fatalf("flowdns: %v", err)
+	}
+	var sources []stream.Source
+	for _, addr := range dnsAddrs {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("flowdns: dns listen %s: %v", addr, err)
+		}
+		log.Printf("flowdns: DNS stream listener on %s", ln.Addr())
+		l := stream.NewDNSListener(ln)
+		l.IdleTimeout = cfg.DNSIdleTimeout
+		sources = append(sources, l)
+	}
+	for _, addr := range flowAddrs {
+		pc, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			log.Fatalf("flowdns: netflow listen %s: %v", addr, err)
+		}
+		log.Printf("flowdns: NetFlow listener on %s", pc.LocalAddr())
+		src := stream.NewFlowUDPSource(pc)
+		src.BatchSize = cfg.IngestBatch
+		sources = append(sources, src)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if cfg.QueryAddr != "" {
+		qsrv, err := queryapi.New(nil,
+			queryapi.WithAddr(cfg.QueryAddr),
+			queryapi.WithExtraMetrics(r.MetricsContributor()),
+			queryapi.WithAdminHandler("/ring", r.RingHandler()),
+			queryapi.WithClusterInfo(func() queryapi.ClusterInfo {
+				return queryapi.ClusterInfo{
+					Role: "router", Node: cl.node,
+					Nodes: r.Ring().Nodes(), VNodes: r.Ring().VNodes(),
+				}
+			}),
+		)
+		if err != nil {
+			log.Fatalf("flowdns: %v", err)
+		}
+		go func() {
+			if err := qsrv.Serve(ctx); err != nil {
+				log.Printf("flowdns: router admin: %v", err)
+			}
+		}()
+		log.Printf("flowdns: router admin on http://%s/ring", cfg.QueryAddr)
+	}
+	log.Printf("flowdns: router fanning out to %s (vnodes=%d)",
+		strings.Join(r.Ring().Nodes(), ","), r.Ring().VNodes())
+	if err := r.Run(ctx, sources...); err != nil {
+		log.Fatalf("flowdns: %v", err)
+	}
+	for _, st := range r.Stats() {
+		log.Printf("flowdns: node %s: flows=%d dns=%d cname=%d dnsDropped=%d spillDropped=%d",
+			st.Node.Name, st.Flows, st.DNS, st.DNSCname, st.DNSDropped, st.Retry.Dropped)
+	}
+	log.Printf("flowdns: router drained")
 }
 
 // windowSeconds converts the -window duration to the config field's whole

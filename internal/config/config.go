@@ -54,6 +54,37 @@ type File struct {
 	// POST arm/disarm). Off by default: fault injection is a chaos-testing
 	// surface.
 	FaultAdmin bool `json:"fault_admin,omitempty"`
+	// Cluster configures the distributed correlation tier (see
+	// internal/forward): role, ring membership, and this process's ring
+	// identity. Absent = standalone single-process deployment.
+	Cluster ClusterConfig `json:"cluster,omitempty"`
+}
+
+// ClusterNode is one ring member's addresses as the router dials them.
+type ClusterNode struct {
+	// Name is the node's ring identity — it, not the addresses, determines
+	// key placement, so addresses can change without moving any shards.
+	Name string `json:"name"`
+	// Flow is the node's NetFlow v9 UDP ingest address.
+	Flow string `json:"flow"`
+	// DNS is the node's framed-DNS TCP ingest address.
+	DNS string `json:"dns"`
+}
+
+// ClusterConfig configures the distributed tier. The same file can be
+// shared by every process in the cluster: the router reads Nodes, a worker
+// reads Node (its own name) for handoff placement and health reporting.
+type ClusterConfig struct {
+	// Role selects the process's job: "" (standalone), "router"
+	// (consistent-hash fan-out, no local store), or "worker" (a normal
+	// correlator that also serves /admin/handoff).
+	Role string `json:"role,omitempty"`
+	// Node is this process's ring name (workers; optional for routers).
+	Node string `json:"node,omitempty"`
+	// Nodes is the ring membership with dial addresses (routers).
+	Nodes []ClusterNode `json:"nodes,omitempty"`
+	// VNodes is the virtual-node count per node; 0 = forward.DefaultVNodes.
+	VNodes int `json:"vnodes,omitempty"`
 }
 
 // StreamConfig describes one input stream.
@@ -318,10 +349,13 @@ func Parse(data []byte) (*File, error) {
 		}
 	}
 	if f.Query.Enabled() {
-		if !f.Rollup.Enabled {
-			return nil, fmt.Errorf("config: query: requires rollup.enabled (the query plane serves sealed rollup windows)")
+		if f.Query.StoreDir != "" && !f.Rollup.Enabled {
+			return nil, fmt.Errorf("config: query: store_dir requires rollup.enabled (the store persists sealed rollup windows)")
 		}
-		if f.Query.Listen != "" && f.Query.StoreDir == "" {
+		// A cluster process serves health, metrics, and admin surfaces on
+		// the query address even without a window store; standalone, a
+		// listen address with nothing behind it is a misconfiguration.
+		if f.Query.Listen != "" && f.Query.StoreDir == "" && f.Cluster.Role == "" {
 			return nil, fmt.Errorf("config: query: listen without store_dir (nothing to serve)")
 		}
 		if f.Query.PartSeconds < 0 {
@@ -332,6 +366,29 @@ func Parse(data []byte) (*File, error) {
 		}
 		if f.Query.CacheEntries < 0 {
 			return nil, fmt.Errorf("config: query: negative cache_entries %d", f.Query.CacheEntries)
+		}
+	}
+	switch f.Cluster.Role {
+	case "", "worker", "router":
+	default:
+		return nil, fmt.Errorf("config: cluster: unknown role %q (want router or worker)", f.Cluster.Role)
+	}
+	if f.Cluster.VNodes < 0 {
+		return nil, fmt.Errorf("config: cluster: negative vnodes %d", f.Cluster.VNodes)
+	}
+	if f.Cluster.Role == "router" {
+		if len(f.Cluster.Nodes) == 0 {
+			return nil, fmt.Errorf("config: cluster: router role needs nodes")
+		}
+		seen := map[string]bool{}
+		for i, n := range f.Cluster.Nodes {
+			if n.Name == "" || n.Flow == "" || n.DNS == "" {
+				return nil, fmt.Errorf("config: cluster: nodes[%d]: name, flow, and dns are all required", i)
+			}
+			if seen[n.Name] {
+				return nil, fmt.Errorf("config: cluster: duplicate node name %q", n.Name)
+			}
+			seen[n.Name] = true
 		}
 	}
 	if _, err := f.CoreConfig(); err != nil {

@@ -192,6 +192,17 @@ type V9Packet struct {
 // source/dest, ports, proto, counters, start-ms).
 func EncodeV9(h V9Header, t Template, records []FlowRecord) ([]byte, error) {
 	buf := make([]byte, 0, v9HeaderLen+64+len(records)*t.recordLen())
+	return AppendV9(buf, h, t, records)
+}
+
+// AppendV9 is EncodeV9 into a caller-supplied buffer: the packet is
+// appended to dst and the extended slice returned. A caller that reuses
+// dst across packets (the forwarder's per-node fanout path) encodes at
+// zero allocations once the buffer has grown to the datagram size. On an
+// encode error dst may hold a partial packet; callers reusing the buffer
+// re-slice to [:0] anyway.
+func AppendV9(dst []byte, h V9Header, t Template, records []FlowRecord) ([]byte, error) {
+	buf := dst
 	// Header; Count = 1 template record + len(records) data records.
 	buf = binary.BigEndian.AppendUint16(buf, v9Version)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(1+len(records)))

@@ -60,8 +60,16 @@ type Server struct {
 	reload   func() error
 	faults   bool
 	extra    []func(*metrics.PromWriter)
+	admin    []adminMount
+	cluster  func() ClusterInfo
 	cache    *cache
 	mux      *http.ServeMux
+}
+
+// adminMount is one extra handler to mount on the server's mux.
+type adminMount struct {
+	pattern string
+	h       http.Handler
 }
 
 // Option configures a Server.
@@ -105,12 +113,33 @@ func WithExtraMetrics(fn func(*metrics.PromWriter)) Option {
 	return func(s *Server) { s.extra = append(s.extra, fn) }
 }
 
+// WithAdminHandler mounts an extra handler on the server's mux — the seam
+// through which the cluster tier attaches its surfaces (/admin/handoff on
+// workers, /ring on the router) without queryapi importing the forward
+// package.
+func WithAdminHandler(pattern string, h http.Handler) Option {
+	return func(s *Server) { s.admin = append(s.admin, adminMount{pattern, h}) }
+}
+
+// ClusterInfo is the /query/health cluster block: which role and ring the
+// answering process belongs to.
+type ClusterInfo struct {
+	Role   string   `json:"role"`            // "router" or "worker"
+	Node   string   `json:"node,omitempty"`  // this process's ring name (workers)
+	Nodes  []string `json:"nodes,omitempty"` // ring membership, canonical order
+	VNodes int      `json:"vnodes,omitempty"`
+}
+
+// WithClusterInfo adds the cluster block to /query/health.
+func WithClusterInfo(fn func() ClusterInfo) Option {
+	return func(s *Server) { s.cluster = fn }
+}
+
 // New builds a Server over the store and registers its cache on the store's
-// invalidation feed.
+// invalidation feed. A nil store is allowed — a cluster router has no
+// window store but still serves /metrics, /query/health, and its admin
+// surfaces; the /query range endpoints then answer 503.
 func New(store *winstore.Store, opts ...Option) (*Server, error) {
-	if store == nil {
-		return nil, errors.New("queryapi: no store")
-	}
 	s := &Server{store: store}
 	for _, o := range opts {
 		o(s)
@@ -118,7 +147,9 @@ func New(store *winstore.Store, opts ...Option) (*Server, error) {
 	if s.cache == nil {
 		s.cache = newCache(DefaultCacheEntries)
 	}
-	store.OnInvalidate(s.cache.InvalidateRange)
+	if store != nil {
+		store.OnInvalidate(s.cache.InvalidateRange)
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/query/services", s.queryHandler("services"))
@@ -134,6 +165,9 @@ func New(store *winstore.Store, opts ...Option) (*Server, error) {
 	}
 	if s.faults {
 		s.mux.HandleFunc("/admin/fault", s.handleFault)
+	}
+	for _, m := range s.admin {
+		s.mux.Handle(m.pattern, m.h)
 	}
 	return s, nil
 }
@@ -458,6 +492,10 @@ func (s *Server) queryHandler(dim string) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		if s.store == nil {
+			http.Error(w, "no window store on this node (router role?)", http.StatusServiceUnavailable)
+			return
+		}
 		p, err := s.parseQuery(req)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -528,6 +566,7 @@ type healthResponse struct {
 	Cache       CacheStats         `json:"cache"`
 	Loss        *lossStatus        `json:"loss,omitempty"`
 	Supervision *supervisionStatus `json:"supervision,omitempty"`
+	Cluster     *ClusterInfo       `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
@@ -535,17 +574,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	st := s.store.Stats()
 	resp := healthResponse{
-		Status:     "ok",
-		Partitions: st.Partitions,
-		Windows:    st.Windows,
-		Rows:       st.Rows,
-		DiskBytes:  st.DiskBytes,
-		Cache:      s.cache.stats(),
+		Status: "ok",
+		Cache:  s.cache.stats(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Partitions = st.Partitions
+		resp.Windows = st.Windows
+		resp.Rows = st.Rows
+		resp.DiskBytes = st.DiskBytes
 	}
 	if s.draining != nil && s.draining() {
 		resp.Status = "draining"
+	}
+	if s.cluster != nil {
+		ci := s.cluster()
+		resp.Cluster = &ci
 	}
 	if s.pipeline != nil {
 		ps := s.pipeline()
@@ -563,8 +608,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
 			Components: ps.Supervised,
 		}
 	}
-	if oldest, newest := s.store.Bounds(); !oldest.IsZero() {
-		resp.Oldest, resp.Newest = oldest.Unix(), newest.Unix()
+	if s.store != nil {
+		if oldest, newest := s.store.Bounds(); !oldest.IsZero() {
+			resp.Oldest, resp.Newest = oldest.Unix(), newest.Unix()
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Cache-Control", "no-store")
@@ -586,7 +633,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	if s.pipeline != nil {
 		writePipelineMetrics(p, s.pipeline())
 	}
-	writeStoreMetrics(p, s.store.Stats())
+	if s.store != nil {
+		writeStoreMetrics(p, s.store.Stats())
+	}
 	writeCacheMetrics(p, s.cache.stats())
 	writeFaultMetrics(p)
 	for _, fn := range s.extra {

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled mirrors the test binary's -race flag so the cluster tests
+// build their child flowdns processes with the same instrumentation.
+const raceEnabled = true

@@ -7,8 +7,9 @@
 # Runs BenchmarkCorrelate, BenchmarkSinkWrite, BenchmarkRollupObserve,
 # BenchmarkIngestDNS, BenchmarkFlattenResponse, BenchmarkSnapshot,
 # BenchmarkRestore, BenchmarkQueryRange, BenchmarkCompact,
-# BenchmarkInfluxEncode, BenchmarkSample, BenchmarkUDPIngest, and
-# BenchmarkCmapTable on HEAD and on the base ref (in a temporary git
+# BenchmarkInfluxEncode, BenchmarkSample, BenchmarkUDPIngest,
+# BenchmarkCmapTable, and BenchmarkForwardFanout on HEAD and on the base
+# ref (in a temporary git
 # worktree), prints a benchstat comparison when benchstat is installed, and
 # compares per-benchmark median ns/op with a plain awk check: a benchmark
 # present in both runs that is more than TOLERANCE (default 1.20 = +20%
@@ -20,7 +21,7 @@
 # The HEAD run also snapshots the fill-path and query-plane medians
 # (BenchmarkIngestDNS*, BenchmarkFlattenResponse*, BenchmarkQueryRange*,
 # BenchmarkCompact*, BenchmarkInfluxEncode, BenchmarkSample*,
-# BenchmarkUDPIngest*, BenchmarkCmapTable*) into
+# BenchmarkUDPIngest*, BenchmarkCmapTable*, BenchmarkForwardFanout) into
 # BENCH_ingest.json at the repo root, so their perf
 # trajectory is tracked commit over commit; refresh the checked-in snapshot
 # when the numbers move for a reason.
@@ -30,7 +31,7 @@
 set -euo pipefail
 
 BASE_REF=${1:-origin/main}
-BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$|BenchmarkSnapshot$|BenchmarkRestore$|BenchmarkQueryRange$|BenchmarkCompact$|BenchmarkInfluxEncode$|BenchmarkSample$|BenchmarkUDPIngest$|BenchmarkCmapTable$'}
+BENCHES=${BENCHES:-'BenchmarkCorrelate$|BenchmarkSinkWrite$|BenchmarkRollupObserve$|BenchmarkIngestDNS$|BenchmarkFlattenResponse$|BenchmarkSnapshot$|BenchmarkRestore$|BenchmarkQueryRange$|BenchmarkCompact$|BenchmarkInfluxEncode$|BenchmarkSample$|BenchmarkUDPIngest$|BenchmarkCmapTable$|BenchmarkForwardFanout$'}
 COUNT=${COUNT:-6}
 BENCHTIME=${BENCHTIME:-300ms}
 TOLERANCE=${TOLERANCE:-1.20}
@@ -95,7 +96,7 @@ medians "$tmp/head.txt" | sort > "$tmp/head.med"
 if [ -n "$SNAPSHOT" ]; then
     # Strip the -GOMAXPROCS suffix so the snapshot is machine-independent.
     sed -E 's/^(Benchmark[^ \t]+)-[0-9]+/\1/' "$tmp/head.txt" | \
-    awk '/^BenchmarkIngestDNS|^BenchmarkFlattenResponse|^BenchmarkQueryRange|^BenchmarkCompact|^BenchmarkInfluxEncode|^BenchmarkSample|^BenchmarkUDPIngest|^BenchmarkCmapTable/ {
+    awk '/^BenchmarkIngestDNS|^BenchmarkFlattenResponse|^BenchmarkQueryRange|^BenchmarkCompact|^BenchmarkInfluxEncode|^BenchmarkSample|^BenchmarkUDPIngest|^BenchmarkCmapTable|^BenchmarkForwardFanout/ {
         name = $1
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op")     ns[name]     = ns[name] " " $(i-1)
